@@ -1,0 +1,137 @@
+// Command mmsim runs a parallel matrix multiplication algorithm on the
+// simulated α-β-γ machine and reports measured communication against the
+// predictions and Theorem 3's lower bound:
+//
+//	mmsim -alg Alg1 -n1 768 -n2 192 -n3 48 -p 512
+//	mmsim -alg all  -n1 64 -n2 64 -n3 64 -p 64 -alpha 1 -beta 1 -gamma 0.01
+//
+// Algorithms: Alg1, AllToAll3D, OneD, SUMMA, Cannon, TwoPointFiveD, or
+// "all". The product is always verified against a serial reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/algs"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/report"
+)
+
+func main() {
+	algName := flag.String("alg", "Alg1", "algorithm name or 'all'")
+	n1 := flag.Int("n1", 768, "rows of A")
+	n2 := flag.Int("n2", 192, "columns of A / rows of B")
+	n3 := flag.Int("n3", 48, "columns of B")
+	p := flag.Int("p", 64, "number of processors")
+	alpha := flag.Float64("alpha", 0, "per-message latency cost")
+	beta := flag.Float64("beta", 1, "per-word bandwidth cost")
+	gamma := flag.Float64("gamma", 0, "per-flop compute cost")
+	layers := flag.Int("layers", 0, "2.5D replication factor (0 = auto)")
+	seed := flag.Uint64("seed", 1, "input matrix seed")
+	trace := flag.Bool("trace", false, "print a simulated-time Gantt timeline (single algorithm only)")
+	traffic := flag.Bool("traffic", false, "print the traffic heatmap (single algorithm only)")
+	flag.Parse()
+
+	d := core.NewDims(*n1, *n2, *n3)
+	if err := d.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts := algs.Opts{
+		Config:  machine.Config{Alpha: *alpha, Beta: *beta, Gamma: *gamma},
+		Layers:  *layers,
+		Trace:   *trace,
+		Traffic: *traffic,
+	}
+	a := matrix.Random(*n1, *n2, *seed)
+	b := matrix.Random(*n2, *n3, *seed+1)
+	want := matrix.Mul(a, b)
+	bound := core.LowerBound(d, *p)
+
+	var entries []algs.Entry
+	for _, e := range algs.Registry() {
+		if strings.EqualFold(*algName, "all") || strings.EqualFold(*algName, e.Name) {
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) == 0 {
+		fmt.Fprintf(os.Stderr, "mmsim: unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("problem %v, P = %d, %v; Theorem 3 bound = %s words/proc\n\n",
+		d, *p, core.CaseOf(d, *p), report.Num(bound))
+	tb := report.NewTable("", "algorithm", "grid", "words/proc", "ratio", "msgs/proc", "flops/proc", "peak mem", "critical path", "correct")
+	failed := false
+	var lastTrace *machine.Trace
+	var lastTraffic *machine.TrafficMatrix
+	for _, e := range entries {
+		res, err := e.Run(a, b, *p, opts)
+		if err != nil {
+			tb.AddRow(e.Name, "-", "-", "-", "-", "-", "-", "-", err.Error())
+			failed = true
+			continue
+		}
+		ok := res.C.MaxAbsDiff(want) <= 1e-9*float64(*n2)
+		if !ok {
+			failed = true
+		}
+		lastTrace = res.Trace
+		lastTraffic = res.Traffic
+		maxMsgs, maxFlops := 0, 0.0
+		for _, rs := range res.Stats.Ranks {
+			if rs.MsgsRecv > maxMsgs {
+				maxMsgs = rs.MsgsRecv
+			}
+			if rs.Flops > maxFlops {
+				maxFlops = rs.Flops
+			}
+		}
+		tb.AddRow(
+			e.Name,
+			res.Grid.String(),
+			report.Num(res.CommCost()),
+			fmt.Sprintf("%.3f", ratio(res.CommCost(), bound)),
+			fmt.Sprintf("%d", maxMsgs),
+			report.Num(maxFlops),
+			report.Num(res.Stats.MaxPeakMemory),
+			report.Num(res.Stats.CriticalPath),
+			fmt.Sprintf("%v", ok),
+		)
+	}
+	fmt.Print(tb.String())
+	if *traffic {
+		if len(entries) == 1 && lastTraffic != nil {
+			fmt.Println()
+			fmt.Print(lastTraffic.Heatmap())
+			fmt.Printf("active pairs: %d of %d\n", lastTraffic.ActivePairs(), *p*(*p-1))
+		} else {
+			fmt.Fprintln(os.Stderr, "mmsim: -traffic requires a single algorithm")
+		}
+	}
+	if *trace {
+		if len(entries) == 1 && lastTrace != nil {
+			fmt.Println()
+			fmt.Print(lastTrace.Timeline(*p, 100))
+			fmt.Println()
+			fmt.Print(lastTrace.Summary(*p))
+		} else {
+			fmt.Fprintln(os.Stderr, "mmsim: -trace requires a single algorithm")
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func ratio(a, b float64) float64 {
+	if b <= 0 {
+		return 1
+	}
+	return a / b
+}

@@ -1,0 +1,88 @@
+package parmm_test
+
+import (
+	"fmt"
+
+	parmm "repro"
+)
+
+// ExampleCaseOf shows the three-regime classification on the paper's
+// Figure 2 instance.
+func ExampleCaseOf() {
+	d := parmm.NewDims(9600, 2400, 600)
+	t1, t2 := parmm.Thresholds(d)
+	fmt.Printf("thresholds: m/n = %.0f, mn/k² = %.0f\n", t1, t2)
+	for _, p := range []int{3, 36, 512} {
+		fmt.Printf("P=%d → %v\n", p, parmm.CaseOf(d, p))
+	}
+	// Output:
+	// thresholds: m/n = 4, mn/k² = 64
+	// P=3 → Case 1 (1D)
+	// P=36 → Case 2 (2D)
+	// P=512 → Case 3 (3D)
+}
+
+// ExampleCaseGrid derives the paper's Figure 2 grids.
+func ExampleCaseGrid() {
+	d := parmm.NewDims(9600, 2400, 600)
+	for _, p := range []int{3, 36, 512} {
+		g, err := parmm.CaseGrid(d, p)
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+		fmt.Printf("P=%d → grid %v\n", p, g)
+	}
+	// Output:
+	// P=3 → grid 3x1x1
+	// P=36 → grid 12x3x1
+	// P=512 → grid 32x8x2
+}
+
+// ExampleAlg1 runs the paper's algorithm on a simulated machine and shows
+// exact attainment of the lower bound.
+func ExampleAlg1() {
+	a := parmm.RandomMatrix(96, 96, 1)
+	b := parmm.RandomMatrix(96, 96, 2)
+	res, err := parmm.Alg1(a, b, 64, parmm.Opts{Config: parmm.BandwidthOnly()})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	bound := parmm.Corollary4(96, 64)
+	fmt.Printf("grid %v: measured %.0f words/proc, bound %.0f\n", res.Grid, res.CommCost(), bound)
+	fmt.Printf("correct: %v\n", res.C.MaxAbsDiff(parmm.Mul(a, b)) < 1e-9)
+	// Output:
+	// grid 4x4x4: measured 1296 words/proc, bound 1296
+	// correct: true
+}
+
+// ExampleGridCommCost evaluates eq. (3) for a hand-picked grid.
+func ExampleGridCommCost() {
+	d := parmm.NewDims(9600, 2400, 600)
+	g := parmm.Grid{P1: 32, P2: 8, P3: 2}
+	fmt.Printf("eq.(3): %.1f words; bound: %.1f words\n",
+		parmm.GridCommCost(d, g), parmm.LowerBound(d, 512))
+	// Output:
+	// eq.(3): 210937.5 words; bound: 210937.5 words
+}
+
+// ExampleMemoryDependentLowerBound reproduces the §6.2 crossover logic.
+func ExampleMemoryDependentLowerBound() {
+	d := parmm.SquareDims(1200)
+	mem := 67500.0
+	fmt.Printf("strong-scaling limit: P = %.1f\n", parmm.StrongScalingLimit(d, mem))
+	for _, p := range []int{16, 64} {
+		mi := parmm.DataFootprint(d, p)
+		md := parmm.MemoryDependentLowerBound(d, p, mem)
+		binding := "memory-independent"
+		if md > mi {
+			binding = "memory-dependent"
+		}
+		fmt.Printf("P=%d: %s binds\n", p, binding)
+	}
+	// Output:
+	// strong-scaling limit: P = 29.2
+	// P=16: memory-dependent binds
+	// P=64: memory-independent binds
+}

@@ -1,0 +1,55 @@
+// Rectangular: the paper's Figure 2 scenario. A 9600×2400 by 2400×600
+// multiplication (scaled 1/12.5 to 768×192×48 for a fast simulation —
+// same aspect ratios, same thresholds m/n = 4 and mn/k² = 64) is run at
+// P = 3 (1D case), P = 36 (2D case) and P = 512 (3D case), showing the
+// optimal grid, which matrices move, and exact attainment of Theorem 3.
+//
+//	go run ./examples/rectangular
+package main
+
+import (
+	"fmt"
+	"log"
+
+	parmm "repro"
+)
+
+func main() {
+	d := parmm.NewDims(768, 192, 48)
+	a := parmm.RandomMatrix(d.N1, d.N2, 11)
+	b := parmm.RandomMatrix(d.N2, d.N3, 12)
+	want := parmm.Mul(a, b)
+
+	t1, t2 := parmm.Thresholds(d)
+	fmt.Printf("problem %v: thresholds m/n = %.0f, mn/k² = %.0f\n\n", d, t1, t2)
+
+	for _, p := range []int{3, 36, 512} {
+		g, err := parmm.CaseGrid(d, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := parmm.Alg1(a, b, p, parmm.Opts{Config: parmm.BandwidthOnly(), Grid: g})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.C.MaxAbsDiff(want) > 1e-8 {
+			log.Fatalf("P=%d: wrong product", p)
+		}
+		bound := parmm.LowerBound(d, p)
+		moved := ""
+		if g.P3 > 1 {
+			moved += "A "
+		}
+		if g.P1 > 1 {
+			moved += "B "
+		}
+		if g.P2 > 1 {
+			moved += "C"
+		}
+		fmt.Printf("P=%-4d %-12v grid %-8v local brick %4dx%3dx%2d  moves: %-6s",
+			p, parmm.CaseOf(d, p), g, d.N1/g.P1, d.N2/g.P2, d.N3/g.P3, moved)
+		fmt.Printf("  measured %7.0f = bound %7.0f (ratio %.6f)\n",
+			res.CommCost(), bound, res.CommCost()/bound)
+	}
+	fmt.Println("\nAlgorithm 1 attains the lower bound word-for-word in all three cases.")
+}

@@ -1,0 +1,51 @@
+// Strassen: the §2.3 fast-matmul regime, executably. Classical algorithms
+// are floored by Theorem 3's 3(n³/P)^{2/3}; Strassen-like algorithms
+// perform fewer multiplications and live under the lower fast floor
+// n²/P^{2/ω0} (ω0 = log₂ 7). This example runs Communication-Avoiding
+// Parallel Strassen (BFS steps) on 1, 7, and 49 simulated processors,
+// verifies the product classically, and compares the measured volumes with
+// both floors.
+//
+//	go run ./examples/strassen
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/caps"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+)
+
+func main() {
+	n := 56
+	a := matrix.Random(n, n, 1)
+	b := matrix.Random(n, n, 2)
+	want := matrix.Mul(a, b)
+
+	fmt.Printf("CAPS (parallel Strassen) on %dx%d matrices\n\n", n, n)
+	fmt.Printf("%-4s %-8s %20s %20s %24s\n", "P", "levels", "measured words/proc", "fast floor n²/P^0.712", "classical floor 3(n³/P)^⅔")
+	p := 1
+	for levels := 0; levels <= 2; levels++ {
+		res, err := caps.Multiply(a, b, levels, machine.BandwidthOnly())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.C.MaxAbsDiff(want) > 1e-8*float64(n) {
+			log.Fatalf("levels=%d: wrong product", levels)
+		}
+		classical := 0.0
+		if p > 1 {
+			classical = 3 * core.LeadingTerm(core.Square(n), p)
+		}
+		fmt.Printf("%-4d %-8d %20.0f %20.0f %24.0f\n",
+			p, levels, res.CommCost(), caps.FastLeadingTerm(n, p), classical)
+		p *= 7
+	}
+	fmt.Println("\nper-rank volumes equal the BFS schedule's counting twin exactly, and the")
+	fmt.Println("volume decays with the fast exponent 2/log2(7) ≈ 0.712 instead of 2/3 —")
+	fmt.Println("Theorem 3 constrains classical algorithms only, which is why the paper's")
+	fmt.Println("§2.3 separates the two regimes.")
+}

@@ -1,0 +1,56 @@
+// Tensorbound: the paper's §6.3 extension in action. The lower-bound
+// technique — sum of projections, Loomis-Whitney product constraint,
+// per-array access bounds, solved by water-filling — applies verbatim to
+// higher-dimensional cuboid iteration spaces. Here a 4-dimensional
+// computation (three input arrays and one output, each omitting one index)
+// gets its generalized bound, and the generalized
+// All-Gather/Reduce-Scatter algorithm attains it exactly in simulation.
+//
+//	go run ./examples/tensorbound
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/extension"
+	"repro/internal/machine"
+)
+
+func main() {
+	pr, err := extension.NewProblem(32, 16, 16, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4-dimensional cuboid computation, dims %v\n", pr.N)
+	fmt.Printf("arrays: 3 inputs + 1 output, array j indexed by all dims except j\n")
+	fmt.Printf("total one-copy data: %.0f words, %.0f multiply-accumulates\n\n", pr.TotalWords(), pr.Volume())
+
+	fmt.Printf("%-8s %-12s %-10s %14s %14s %10s %14s\n",
+		"P", "free vars", "grid", "measured", "bound", "ratio", "KKT residual")
+	for _, p := range []int{1, 4, 16, 64} {
+		g := extension.Optimal(pr, p)
+		res, err := extension.Run(pr, g, 13, machine.BandwidthOnly())
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Verify against the serial reference.
+		want := extension.Serial(pr, 13)
+		out := want.Data[pr.D()-1]
+		for i := range out {
+			if diff := res.Output[i] - out[i]; diff > 1e-8 || diff < -1e-8 {
+				log.Fatalf("P=%d: wrong result at %d", p, i)
+			}
+		}
+		_, free := pr.DataFootprint(p)
+		bound := pr.LowerBound(p)
+		ratio := 1.0
+		if bound > 0 {
+			ratio = res.Stats.CommCost() / bound
+		}
+		fmt.Printf("%-8d %-12s %-10v %14.0f %14.0f %10.4f %14.2e\n",
+			p, fmt.Sprintf("%d of 4", free), g, res.Stats.CommCost(), bound, ratio, pr.KKTCertificate(p))
+	}
+	fmt.Println("\nthe d = 3 instance of this machinery is exactly Theorem 3; the case")
+	fmt.Println("structure generalizes to 'how many arrays are pinned at their access bounds'.")
+}

@@ -1,0 +1,162 @@
+package algs
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+)
+
+// Phase labels used by the 3D algorithms for per-phase accounting.
+const (
+	PhaseGatherA = "allgather-A"
+	PhaseGatherB = "allgather-B"
+	PhaseReduceC = "reduce-C"
+)
+
+// Alg1 runs the paper's Algorithm 1 on p processors: organize them in a 3D
+// grid, All-Gather the A panel over Axis3 fibers and the B panel over Axis1
+// fibers, multiply locally, and Reduce-Scatter the C contributions over
+// Axis2 fibers. With the §5.2 optimal grid (the default) its communication
+// cost attains Theorem 3's lower bound exactly when the grid divides the
+// dimensions.
+func Alg1(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
+	return run3D("Alg1", a, b, p, opts, true)
+}
+
+// AllToAll3D runs the Agarwal et al. 1995 predecessor of Algorithm 1: the
+// same 3D data movement for the inputs, but the C contributions are
+// exchanged with an All-to-All and summed locally instead of a
+// Reduce-Scatter. The bandwidth is identical; the message count (latency
+// term) is higher — the paper's §5.1 notes this as the only difference.
+func AllToAll3D(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
+	return run3D("AllToAll3D", a, b, p, opts, false)
+}
+
+func run3D(name string, a, b *matrix.Dense, p int, opts Opts, reduceScatter bool) (*Result, error) {
+	d, err := dimsOf(a, b)
+	if err != nil {
+		return nil, err
+	}
+	g := opts.Grid
+	if g == (grid.Grid{}) {
+		g = grid.Optimal(d, p)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.Size() != p {
+		return nil, fmt.Errorf("algs: grid %v has %d processors, want %d", g, g.Size(), p)
+	}
+	if g.P1 > d.N1 || g.P2 > d.N2 || g.P3 > d.N3 {
+		return nil, fmt.Errorf("algs: grid %v exceeds dims %v", g, d)
+	}
+
+	w, tr := newWorld(p, opts)
+	var tm *machine.TrafficMatrix
+	if opts.Traffic {
+		tm = w.EnableTraffic()
+	}
+	chunks := make([][]float64, p)
+	runErr := w.Run(func(r *machine.Rank) {
+		i1, i2, i3 := g.Coords(r.ID())
+
+		// Initial one-copy distribution: the A block (i1, i2) is spread
+		// evenly (as packed word ranges) over the Axis3 fiber, the B block
+		// (i2, i3) over the Axis1 fiber — exactly the layout of §5.
+		aBlk := matrix.BlockOf(a, g.P1, g.P2, i1, i2)
+		bBlk := matrix.BlockOf(b, g.P2, g.P3, i2, i3)
+		packedA := aBlk.Pack()
+		packedB := bBlk.Pack()
+		countsA := shareCounts(len(packedA), g.P3)
+		countsB := shareCounts(len(packedB), g.P1)
+		loA, hiA := shareRange(len(packedA), g.P3, i3)
+		loB, hiB := shareRange(len(packedB), g.P1, i1)
+		myA := packedA[loA:hiA]
+		myB := packedB[loB:hiB]
+		r.GrowMemory(float64(len(myA) + len(myB)))
+
+		// Line 3: A_{p1'p2'} = All-Gather over (p1', p2', :).
+		r.SetPhase(PhaseGatherA)
+		grpA := collective.NewGroup(r, g.Fiber(r.ID(), grid.Axis3), 1, opts.Collective)
+		fullA := grpA.AllGatherV(myA, countsA)
+		r.GrowMemory(float64(len(fullA) - len(myA)))
+		gatheredA := matrix.New(aBlk.Rows(), aBlk.Cols())
+		gatheredA.Unpack(fullA)
+
+		// Line 4: B_{p2'p3'} = All-Gather over (:, p2', p3').
+		r.SetPhase(PhaseGatherB)
+		grpB := collective.NewGroup(r, g.Fiber(r.ID(), grid.Axis1), 2, opts.Collective)
+		fullB := grpB.AllGatherV(myB, countsB)
+		r.GrowMemory(float64(len(fullB) - len(myB)))
+		gatheredB := matrix.New(bBlk.Rows(), bBlk.Cols())
+		gatheredB.Unpack(fullB)
+
+		// Line 6: local computation D = A_{p1'p2'} · B_{p2'p3'}.
+		r.SetPhase("")
+		dBlk := localMul(r, gatheredA, gatheredB, opts.Workers)
+		r.GrowMemory(float64(dBlk.Size()))
+
+		// Line 8: C contributions summed over (p1', :, p3').
+		packedD := dBlk.Pack()
+		countsC := shareCounts(len(packedD), g.P2)
+		r.SetPhase(PhaseReduceC)
+		grpC := collective.NewGroup(r, g.Fiber(r.ID(), grid.Axis2), 3, opts.Collective)
+		var myC []float64
+		if reduceScatter {
+			myC = grpC.ReduceScatterV(packedD, countsC)
+		} else {
+			// All-to-All the per-destination chunks, then sum locally.
+			blocks := make([][]float64, g.P2)
+			off := 0
+			for j, c := range countsC {
+				blocks[j] = packedD[off : off+c]
+				off += c
+			}
+			got := grpC.AllToAll(blocks)
+			myC = make([]float64, countsC[i2])
+			for j, blk := range got {
+				if len(blk) != len(myC) {
+					panic(fmt.Sprintf("algs: alltoall chunk %d has %d words, want %d", j, len(blk), len(myC)))
+				}
+				for i, v := range blk {
+					myC[i] += v
+				}
+			}
+			if g.P2 > 1 {
+				r.Compute(float64((g.P2 - 1) * len(myC)))
+			}
+		}
+		r.SetPhase("")
+		r.GrowMemory(float64(len(myC)))
+		chunks[r.ID()] = myC
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	cOut := assembleC(d, g, chunks)
+	return &Result{Name: name, C: cOut, Grid: g, Stats: w.Stats(), Trace: tr, Traffic: tm}, nil
+}
+
+// assembleC reconstructs the global C from the per-rank chunks of the 3D
+// algorithms: the (i1, i3) block of C is the concatenation, in Axis2 fiber
+// order, of the chunks held by ranks (i1, ·, i3).
+func assembleC(d core.Dims, g grid.Grid, chunks [][]float64) *matrix.Dense {
+	c := matrix.New(d.N1, d.N3)
+	for i1 := 0; i1 < g.P1; i1++ {
+		for i3 := 0; i3 < g.P3; i3++ {
+			r0, h := blockRange(d.N1, g.P1, i1)
+			c0, wd := blockRange(d.N3, g.P3, i3)
+			packed := make([]float64, 0, h*wd)
+			for i2 := 0; i2 < g.P2; i2++ {
+				packed = append(packed, chunks[g.Rank(i1, i2, i3)]...)
+			}
+			c.View(r0, c0, h, wd).Unpack(packed)
+		}
+	}
+	return c
+}

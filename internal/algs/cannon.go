@@ -1,0 +1,102 @@
+package algs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+)
+
+// Cannon runs Cannon's algorithm on a q×q processor grid (P = q²): after an
+// initial skew that aligns A(i, i+j) and B(i+j, j) on processor (i, j), the
+// grid performs q−1 rounds of multiply-then-shift (A one step left, B one
+// step up). It requires a square processor grid and dimensions divisible by
+// q; the 2D baseline for the comparison experiments.
+func Cannon(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
+	d, err := dimsOf(a, b)
+	if err != nil {
+		return nil, err
+	}
+	q := int(math.Round(math.Sqrt(float64(p))))
+	if q*q != p {
+		return nil, fmt.Errorf("algs: Cannon needs a square processor count, got %d", p)
+	}
+	if d.N1%q != 0 || d.N2%q != 0 || d.N3%q != 0 {
+		return nil, fmt.Errorf("algs: Cannon needs dims %v divisible by q=%d", d, q)
+	}
+
+	g := grid.Grid{P1: q, P2: 1, P3: q}
+	w, tr := newWorld(p, opts)
+	blocks := make([][]float64, p)
+	const (
+		tagSkewA  = 100
+		tagSkewB  = 101
+		tagShiftA = 102
+		tagShiftB = 103
+	)
+	runErr := w.Run(func(r *machine.Rank) {
+		i, _, j := g.Coords(r.ID())
+		aBlk := matrix.BlockOf(a, q, q, i, j)
+		bBlk := matrix.BlockOf(b, q, q, i, j)
+		r.GrowMemory(float64(2 * (aBlk.Size() + bBlk.Size()))) // blocks + shift buffers
+		cBlk := matrix.New(d.N1/q, d.N3/q)
+		r.GrowMemory(float64(cBlk.Size()))
+
+		// Initial skew: processor (i, j) must hold A(i, (j+i) mod q) and
+		// B((i+j) mod q, j). Each processor sends its canonical block to
+		// the peer that needs it and receives its aligned block.
+		if q > 1 && i != 0 {
+			dst := g.Rank(i, 0, (j-i+q)%q) // A(i,j) is needed at column j-i
+			src := g.Rank(i, 0, (j+i)%q)
+			got := sendRecvAvoidSelf(r, dst, src, tagSkewA, aBlk.Pack())
+			aBlk.Unpack(got)
+		}
+		if q > 1 && j != 0 {
+			dst := g.Rank((i-j+q)%q, 0, j) // B(i,j) is needed at row i-j
+			src := g.Rank((i+j)%q, 0, j)
+			got := sendRecvAvoidSelf(r, dst, src, tagSkewB, bBlk.Pack())
+			bBlk.Unpack(got)
+		}
+
+		for s := 0; s < q; s++ {
+			localMulAdd(r, cBlk, aBlk, bBlk, opts.Workers)
+			if s == q-1 {
+				break
+			}
+			// Shift A one step left (receive from the right), B one step
+			// up (receive from below).
+			leftRank := g.Rank(i, 0, (j-1+q)%q)
+			rightRank := g.Rank(i, 0, (j+1)%q)
+			got := sendRecvAvoidSelf(r, leftRank, rightRank, tagShiftA, aBlk.Pack())
+			aBlk.Unpack(got)
+			upRank := g.Rank((i-1+q)%q, 0, j)
+			downRank := g.Rank((i+1)%q, 0, j)
+			got = sendRecvAvoidSelf(r, upRank, downRank, tagShiftB, bBlk.Pack())
+			bBlk.Unpack(got)
+		}
+		blocks[r.ID()] = cBlk.Pack()
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	c := matrix.New(d.N1, d.N3)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			c.View(i*(d.N1/q), j*(d.N3/q), d.N1/q, d.N3/q).Unpack(blocks[g.Rank(i, 0, j)])
+		}
+	}
+	return &Result{Name: "Cannon", C: c, Grid: g, Stats: w.Stats(), Trace: tr}, nil
+}
+
+// sendRecvAvoidSelf performs a SendRecv but short-circuits when both peers
+// are this rank (shift distance 0 in a degenerate grid), returning the data
+// unchanged.
+func sendRecvAvoidSelf(r *machine.Rank, dst, src, tag int, data []float64) []float64 {
+	if dst == r.ID() && src == r.ID() {
+		return data
+	}
+	return r.SendRecv(dst, src, tag, data)
+}

@@ -1,0 +1,101 @@
+package algs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/matrix"
+)
+
+func TestCARMAGridSplitsLargest(t *testing.T) {
+	cases := []struct {
+		d    core.Dims
+		p    int
+		want grid.Grid
+	}{
+		// Square: splits rotate through the dimensions.
+		{core.Square(64), 8, grid.Grid{P1: 2, P2: 2, P3: 2}},
+		// Tall-skinny: all splits go to the large dimension first.
+		{core.NewDims(1024, 16, 16), 8, grid.Grid{P1: 8, P2: 1, P3: 1}},
+		// Paper shape: m gets halved until it ties with n, then both.
+		{core.NewDims(9600, 2400, 600), 4, grid.Grid{P1: 4, P2: 1, P3: 1}},
+		{core.NewDims(9600, 2400, 600), 16, grid.Grid{P1: 8, P2: 2, P3: 1}},
+	}
+	for _, c := range cases {
+		g, err := CARMAGrid(c.d, c.p)
+		if err != nil {
+			t.Fatalf("%v P=%d: %v", c.d, c.p, err)
+		}
+		if g != c.want {
+			t.Errorf("CARMAGrid(%v, %d) = %v, want %v", c.d, c.p, g, c.want)
+		}
+	}
+}
+
+func TestCARMAGridErrors(t *testing.T) {
+	if _, err := CARMAGrid(core.Square(8), 3); err == nil {
+		t.Fatal("expected power-of-two error")
+	}
+	if _, err := CARMAGrid(core.NewDims(1, 1, 1), 8); err == nil {
+		t.Fatal("expected grid-exceeds-dims error")
+	}
+}
+
+func TestCARMACorrectness(t *testing.T) {
+	for _, c := range []struct{ n1, n2, n3, p int }{
+		{16, 16, 16, 8}, {64, 8, 8, 16}, {12, 24, 48, 4}, {9, 9, 9, 1},
+		{13, 7, 5, 4},
+	} {
+		verify(t, "CARMA", CARMA, c.n1, c.n2, c.n3, c.p, bwOpts())
+	}
+}
+
+func TestCARMARejectsNonPowerOfTwo(t *testing.T) {
+	a := matrix.Random(8, 8, 1)
+	b := matrix.Random(8, 8, 2)
+	if _, err := CARMA(a, b, 6, bwOpts()); err == nil {
+		t.Fatal("expected power-of-two error")
+	}
+}
+
+// TestCARMAAsymptoticallyOptimal: on a square problem with cube-of-two P,
+// CARMA's greedy grid equals the optimal cubic grid, so it attains the
+// bound exactly.
+func TestCARMAAsymptoticallyOptimal(t *testing.T) {
+	n, p := 32, 64
+	d := core.Square(n)
+	res := verify(t, "CARMA", CARMA, n, n, n, p, bwOpts())
+	bound := core.LowerBound(d, p)
+	if math.Abs(res.CommCost()-bound) > 1e-9 {
+		t.Errorf("CARMA cost %v, bound %v", res.CommCost(), bound)
+	}
+}
+
+// TestCARMAWithinConstantOfBound: across shapes, the greedy grid's cost is
+// within a small constant of the lower bound (Demmel et al. prove ≤ 2× the
+// asymptotic terms; we check 3× as a conservative envelope including
+// lower-order effects).
+func TestCARMAWithinConstantOfBound(t *testing.T) {
+	shapes := []core.Dims{
+		core.NewDims(96, 24, 6), core.NewDims(64, 64, 64),
+		core.NewDims(256, 16, 16), core.NewDims(8, 128, 32),
+	}
+	for _, d := range shapes {
+		for _, p := range []int{2, 4, 8, 16, 32} {
+			g, err := CARMAGrid(d, p)
+			if err != nil {
+				continue
+			}
+			cost := grid.CommCost(d, g)
+			bound := core.LowerBound(d, p)
+			if bound > 0 && cost > 3*bound {
+				t.Errorf("%v P=%d: CARMA grid %v costs %v > 3x bound %v", d, p, g, cost, bound)
+			}
+			if cost < bound-1e-9 {
+				t.Errorf("%v P=%d: CARMA grid beats the bound", d, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package algs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/matrix"
+)
+
+func runLowMem(t *testing.T, n1, n2, n3, p, chunks int, opts Opts) *Result {
+	t.Helper()
+	run := func(a, b *matrix.Dense, pp int, o Opts) (*Result, error) {
+		return Alg1LowMem(a, b, pp, chunks, o)
+	}
+	return verify(t, "Alg1LowMem", run, n1, n2, n3, p, opts)
+}
+
+func TestAlg1LowMemCorrectness(t *testing.T) {
+	for _, c := range []struct{ n1, n2, n3, p, chunks int }{
+		{16, 16, 16, 8, 1},
+		{16, 16, 16, 8, 2},
+		{16, 16, 16, 8, 4},
+		{16, 16, 16, 8, 100}, // more chunks than the local extent
+		{13, 11, 9, 6, 3},    // nothing divides
+		{96, 24, 6, 36, 4},
+	} {
+		runLowMem(t, c.n1, c.n2, c.n3, c.p, c.chunks, bwOpts())
+	}
+}
+
+func TestAlg1LowMemValidation(t *testing.T) {
+	a := matrix.Random(8, 8, 1)
+	b := matrix.Random(8, 8, 2)
+	if _, err := Alg1LowMem(a, b, 4, 0, bwOpts()); err == nil {
+		t.Fatal("expected chunks validation error")
+	}
+	opts := bwOpts()
+	opts.Grid = grid.Grid{P1: 2, P2: 2, P3: 2}
+	if _, err := Alg1LowMem(a, b, 9, 2, opts); err == nil {
+		t.Fatal("expected grid size error")
+	}
+}
+
+// TestAlg1LowMemSameBandwidthMoreLatencyLessMemory is the §6.2 adaptation
+// claim, measured: chunking leaves the words moved unchanged, multiplies
+// the message count, and divides the gathered-panel memory.
+func TestAlg1LowMemSameBandwidthMoreLatencyLessMemory(t *testing.T) {
+	d := core.NewDims(768, 192, 48)
+	p := 36
+	g, err := grid.CaseGrid(d, p) // 12x3x1: 2D, panel memory dominates
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := bwOpts()
+	opts.Grid = g
+	base := runLowMem(t, 768, 192, 48, p, 1, opts)
+	chunked := runLowMem(t, 768, 192, 48, p, 8, opts)
+
+	// Bandwidth identical, and exactly the Theorem 3 bound.
+	bound := core.LowerBound(d, p)
+	if math.Abs(base.CommCost()-bound) > 1e-9 || math.Abs(chunked.CommCost()-bound) > 1e-9 {
+		t.Fatalf("bandwidth changed: base %v chunked %v bound %v", base.CommCost(), chunked.CommCost(), bound)
+	}
+	// Latency: message count grows with the chunk factor.
+	if chunked.Stats.TotalMessages <= 4*base.Stats.TotalMessages {
+		t.Fatalf("messages: base %d chunked %d — expected ≈8x", base.Stats.TotalMessages, chunked.Stats.TotalMessages)
+	}
+	// Peak memory shrinks.
+	if chunked.Stats.MaxPeakMemory >= base.Stats.MaxPeakMemory {
+		t.Fatalf("memory: base %v chunked %v — expected reduction", base.Stats.MaxPeakMemory, chunked.Stats.MaxPeakMemory)
+	}
+}
+
+// TestAlg1LowMem3DResidualMemory documents the §6.2 caveat: on a 3D grid
+// the C contribution buffer (the eq.(3) mk/(p1p3) term) does not shrink
+// with chunking — reducing it would necessarily raise bandwidth.
+func TestAlg1LowMem3DResidualMemory(t *testing.T) {
+	d := core.NewDims(768, 192, 48)
+	p := 512
+	g, err := grid.CaseGrid(d, p) // 32x8x2
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := bwOpts()
+	opts.Grid = g
+	res := runLowMem(t, 768, 192, 48, p, 16, opts)
+	dBuffer := d.SizeC() / float64(g.P1*g.P3)
+	if res.Stats.MaxPeakMemory < dBuffer {
+		t.Fatalf("peak %v below the irreducible C buffer %v", res.Stats.MaxPeakMemory, dBuffer)
+	}
+}

@@ -1,0 +1,69 @@
+package algs
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+)
+
+// OneD runs the classical block-row algorithm: processor i owns a band of
+// rows of A and computes the same band of C after All-Gathering the whole
+// of B. Its communication cost is (1 − 1/P)·n2·n3 words per processor,
+// which matches Theorem 3's bound exactly when the problem is in Case 1
+// with n1 the largest dimension, and is suboptimal otherwise — the
+// comparison experiments use it as the 1D baseline.
+func OneD(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
+	d, err := dimsOf(a, b)
+	if err != nil {
+		return nil, err
+	}
+	if p > d.N1 {
+		return nil, fmt.Errorf("algs: OneD needs P ≤ n1, got P=%d n1=%d", p, d.N1)
+	}
+
+	w, tr := newWorld(p, opts)
+	bands := make([][]float64, p)
+	members := make([]int, p)
+	for i := range members {
+		members[i] = i
+	}
+	packedB := b.Pack()
+	countsB := shareCounts(len(packedB), p)
+	runErr := w.Run(func(r *machine.Rank) {
+		me := r.ID()
+		// Initial distribution: row band of A (and later C) is local; B is
+		// spread evenly across all processors.
+		r0, h := blockRange(d.N1, p, me)
+		aBand := a.View(r0, 0, h, d.N2).Clone()
+		loB, hiB := shareRange(len(packedB), p, me)
+		myB := packedB[loB:hiB]
+		r.GrowMemory(float64(aBand.Size() + len(myB)))
+
+		r.SetPhase(PhaseGatherB)
+		grp := collective.NewGroup(r, members, 1, opts.Collective)
+		fullB := grp.AllGatherV(myB, countsB)
+		r.SetPhase("")
+		r.GrowMemory(float64(len(fullB) - len(myB)))
+		bMat := matrix.New(d.N2, d.N3)
+		bMat.Unpack(fullB)
+
+		cBand := localMul(r, aBand, bMat, opts.Workers)
+		r.GrowMemory(float64(cBand.Size()))
+		bands[me] = cBand.Pack()
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	c := matrix.New(d.N1, d.N3)
+	for i := 0; i < p; i++ {
+		r0, h := blockRange(d.N1, p, i)
+		if h > 0 {
+			c.View(r0, 0, h, d.N3).Unpack(bands[i])
+		}
+	}
+	return &Result{Name: "OneD", C: c, Grid: grid.Grid{P1: p, P2: 1, P3: 1}, Stats: w.Stats(), Trace: tr}, nil
+}

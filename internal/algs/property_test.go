@@ -1,0 +1,101 @@
+package algs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+)
+
+// TestAlg1PropertyRandomShapes drives Alg1 over random shapes, processor
+// counts, and cost models: the product always matches the serial reference
+// and the communication never beats Theorem 3.
+func TestAlg1PropertyRandomShapes(t *testing.T) {
+	f := func(n1Raw, n2Raw, n3Raw, pRaw, seedRaw uint8) bool {
+		n1 := int(n1Raw%14) + 1
+		n2 := int(n2Raw%14) + 1
+		n3 := int(n3Raw%14) + 1
+		p := int(pRaw%12) + 1
+		d := core.NewDims(n1, n2, n3)
+		a := matrix.Random(n1, n2, uint64(seedRaw))
+		b := matrix.Random(n2, n3, uint64(seedRaw)+1)
+		res, err := Alg1(a, b, p, Opts{Config: machine.BandwidthOnly()})
+		if err != nil {
+			// Only acceptable failure: the optimal grid exceeds a tiny
+			// dimension (P larger than the iteration space allows).
+			return p > n1 || p > n2 || p > n3 || p > n1*n2*n3
+		}
+		if !res.C.Equal(matrix.Mul(a, b), 1e-9*float64(n2+1)) {
+			return false
+		}
+		return res.CommCost() >= core.LowerBound(d, p)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllAlgorithmsAgreeProperty cross-checks every applicable algorithm
+// against each other on a shared random instance.
+func TestAllAlgorithmsAgreeProperty(t *testing.T) {
+	f := func(seedRaw uint8) bool {
+		n := 12
+		p := 4
+		a := matrix.Random(n, n, uint64(seedRaw)*3+1)
+		b := matrix.Random(n, n, uint64(seedRaw)*3+2)
+		var first *matrix.Dense
+		for _, e := range Registry() {
+			res, err := e.Run(a, b, p, Opts{Config: machine.BandwidthOnly()})
+			if err != nil {
+				return false
+			}
+			if first == nil {
+				first = res.C
+			} else if !res.C.Equal(first, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimal3DFamilyMatchesEquation3 checks that the Optimal3D-flagged
+// algorithms measure exactly the eq.(3) volume of their grid when every
+// block divides its fiber.
+func TestOptimal3DFamilyMatchesEquation3(t *testing.T) {
+	d := core.NewDims(32, 16, 8)
+	p := 16
+	a := matrix.Random(d.N1, d.N2, 5)
+	b := matrix.Random(d.N2, d.N3, 6)
+	for _, e := range Registry() {
+		if !e.Optimal3D {
+			continue
+		}
+		res, err := e.Run(a, b, p, Opts{Config: machine.BandwidthOnly()})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		want := 0.0
+		// eq.(3) via the grid actually used by the run.
+		g := res.Grid
+		want = d.SizeA()/float64(g.P1*g.P2)*frac(g.P3) +
+			d.SizeB()/float64(g.P2*g.P3)*frac(g.P1) +
+			d.SizeC()/float64(g.P1*g.P3)*frac(g.P2)
+		if math.Abs(res.CommCost()-want) > 1e-9 {
+			t.Errorf("%s grid %v: measured %v, eq.(3) %v", e.Name, g, res.CommCost(), want)
+		}
+	}
+}
+
+func frac(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return 1 - 1/float64(p)
+}

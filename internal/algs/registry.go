@@ -1,0 +1,35 @@
+package algs
+
+import "repro/internal/matrix"
+
+// Runner is the common signature of every parallel algorithm in this
+// package.
+type Runner func(a, b *matrix.Dense, p int, opts Opts) (*Result, error)
+
+// Entry describes a registered algorithm for sweep experiments.
+type Entry struct {
+	// Name is the display name used in reports.
+	Name string
+	// Run executes the algorithm.
+	Run Runner
+	// Optimal3D marks the algorithms that should attain Theorem 3's bound
+	// with the right grid (the paper's Algorithm 1 family).
+	Optimal3D bool
+}
+
+// Registry lists all implemented parallel multiplication algorithms in
+// report order.
+func Registry() []Entry {
+	return []Entry{
+		{Name: "Alg1", Run: Alg1, Optimal3D: true},
+		{Name: "AllToAll3D", Run: AllToAll3D, Optimal3D: true},
+		{Name: "CARMA", Run: CARMA},
+		{Name: "Alg1LowMem", Run: func(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
+			return Alg1LowMem(a, b, p, 4, opts)
+		}, Optimal3D: true},
+		{Name: "OneD", Run: OneD},
+		{Name: "SUMMA", Run: SUMMA},
+		{Name: "Cannon", Run: Cannon},
+		{Name: "TwoPointFiveD", Run: TwoPointFiveD},
+	}
+}

@@ -1,0 +1,148 @@
+package algs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/collective"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+)
+
+// TwoPointFiveD runs the Solomonik-Demmel 2.5D algorithm for square n×n
+// multiplication on a q×q×c grid with P = q²·c: the inputs are replicated
+// across the c layers, each layer executes 1/c of the Cannon rounds at its
+// own offset, and the partial C contributions are Reduce-Scattered across
+// layers. The replication trades c× memory for roughly sqrt(c)× less
+// bandwidth — the classical memory/communication trade-off the paper's
+// §6.2 situates between the memory-dependent and memory-independent bounds.
+//
+// c = 1 degenerates to Cannon; c = q = P^{1/3} reaches the 3D regime.
+// Requirements: n1 = n2 = n3 = n, P = q²c with c | q and q | n.
+func TwoPointFiveD(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
+	d, err := dimsOf(a, b)
+	if err != nil {
+		return nil, err
+	}
+	if d.N1 != d.N2 || d.N2 != d.N3 {
+		return nil, fmt.Errorf("algs: TwoPointFiveD requires square matrices, got %v", d)
+	}
+	n := d.N1
+	c := opts.Layers
+	if c == 0 {
+		c = ChooseLayers(p)
+	}
+	if c < 1 || p%c != 0 {
+		return nil, fmt.Errorf("algs: TwoPointFiveD layers c=%d does not divide P=%d", c, p)
+	}
+	q := int(math.Round(math.Sqrt(float64(p / c))))
+	if q*q*c != p {
+		return nil, fmt.Errorf("algs: TwoPointFiveD needs P = q²c, got P=%d c=%d", p, c)
+	}
+	if q%c != 0 {
+		return nil, fmt.Errorf("algs: TwoPointFiveD needs c | q, got q=%d c=%d", q, c)
+	}
+	if n%q != 0 {
+		return nil, fmt.Errorf("algs: TwoPointFiveD needs q | n, got n=%d q=%d", n, q)
+	}
+
+	g := grid.Grid{P1: q, P2: c, P3: q} // Axis2 indexes the replication layer
+	w, tr := newWorld(p, opts)
+	chunks := make([][]float64, p)
+	const (
+		tagAlignA = 200
+		tagAlignB = 201
+		tagShiftA = 202
+		tagShiftB = 203
+	)
+	rounds := q / c
+	runErr := w.Run(func(r *machine.Rank) {
+		i, l, j := g.Coords(r.ID())
+		blk := n / q
+
+		// Replication: layer 0 owns the canonical block distribution; the
+		// layer fiber broadcasts A and B blocks to all layers.
+		var packedA, packedB []float64
+		if l == 0 {
+			packedA = matrix.BlockOf(a, q, q, i, j).Pack()
+			packedB = matrix.BlockOf(b, q, q, i, j).Pack()
+		}
+		layerGrp := collective.NewGroup(r, g.Fiber(r.ID(), grid.Axis2), 3, opts.Collective)
+		r.SetPhase("replicate")
+		packedA = layerGrp.Bcast(packedA, 0)
+		packedB = layerGrp.Bcast(packedB, 0)
+		aBlk := matrix.New(blk, blk)
+		aBlk.Unpack(packedA)
+		bBlk := matrix.New(blk, blk)
+		bBlk.Unpack(packedB)
+		r.GrowMemory(float64(2 * 2 * blk * blk)) // blocks + shift buffers
+
+		// Alignment: layer l starts its Cannon rounds at contraction
+		// offset o = l·q/c, so processor (i, l, j) needs
+		// A(i, (i+j+o) mod q) and B((i+j+o) mod q, j).
+		o := l * rounds
+		r.SetPhase("align")
+		if q > 1 && (i+o)%q != 0 {
+			dst := g.Rank(i, l, ((j-i-o)%q+q)%q)
+			src := g.Rank(i, l, (j+i+o)%q)
+			aBlk.Unpack(sendRecvAvoidSelf(r, dst, src, tagAlignA, aBlk.Pack()))
+		}
+		if q > 1 && (j+o)%q != 0 {
+			dst := g.Rank(((i-j-o)%q+q)%q, l, j)
+			src := g.Rank((i+j+o)%q, l, j)
+			bBlk.Unpack(sendRecvAvoidSelf(r, dst, src, tagAlignB, bBlk.Pack()))
+		}
+
+		cBlk := matrix.New(blk, blk)
+		r.GrowMemory(float64(blk * blk))
+		r.SetPhase("")
+		for s := 0; s < rounds; s++ {
+			localMulAdd(r, cBlk, aBlk, bBlk, opts.Workers)
+			if s == rounds-1 {
+				break
+			}
+			r.SetPhase("shift")
+			left := g.Rank(i, l, (j-1+q)%q)
+			right := g.Rank(i, l, (j+1)%q)
+			aBlk.Unpack(sendRecvAvoidSelf(r, left, right, tagShiftA, aBlk.Pack()))
+			up := g.Rank((i-1+q)%q, l, j)
+			down := g.Rank((i+1)%q, l, j)
+			bBlk.Unpack(sendRecvAvoidSelf(r, up, down, tagShiftB, bBlk.Pack()))
+			r.SetPhase("")
+		}
+
+		// Combine the layers' partial sums: Reduce-Scatter over the layer
+		// fiber leaves C block (i, j) spread evenly across layers.
+		packedC := cBlk.Pack()
+		counts := shareCounts(len(packedC), c)
+		r.SetPhase(PhaseReduceC)
+		myC := layerGrp.ReduceScatterV(packedC, counts)
+		r.SetPhase("")
+		chunks[r.ID()] = myC
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	cOut := assembleC(d, g, chunks)
+	return &Result{Name: "TwoPointFiveD", C: cOut, Grid: g, Stats: w.Stats(), Trace: tr}, nil
+}
+
+// ChooseLayers returns the largest replication factor c such that
+// P = q²·c with integers q and c | q — the most communication-efficient
+// 2.5D configuration for P when memory permits (c = P^{1/3} when P is a
+// perfect cube, recovering the 3D algorithm's volume).
+func ChooseLayers(p int) int {
+	best := 1
+	for c := 1; c*c*c <= p; c++ {
+		if p%c != 0 {
+			continue
+		}
+		q := int(math.Round(math.Sqrt(float64(p / c))))
+		if q*q*c == p && q%c == 0 && c > best {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,138 @@
+package bsp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+func TestMachineBasics(t *testing.T) {
+	m := New(3, 2, 10)
+	s1 := m.Step()
+	s1.Send(0, 1, 5)
+	s1.Send(2, 1, 3) // proc 1 receives 8: h = 8
+	s1.Compute(2, 100)
+	s2 := m.Step()
+	s2.Send(1, 0, 4)
+	c := m.Cost()
+	if c.Supersteps != 2 {
+		t.Fatalf("supersteps = %d", c.Supersteps)
+	}
+	if c.HSum != 12 {
+		t.Fatalf("HSum = %v, want 12", c.HSum)
+	}
+	if c.Flops != 100 {
+		t.Fatalf("flops = %v", c.Flops)
+	}
+	if c.Total != 2*12+10*2+100 {
+		t.Fatalf("total = %v", c.Total)
+	}
+	if m.ReceivedTotal(1) != 8 || m.ReceivedTotal(0) != 4 || m.MaxReceivedTotal() != 8 {
+		t.Fatal("received accounting wrong")
+	}
+}
+
+func TestMachinePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 1, 1) },
+		func() { New(2, 1, 1).Step().Send(0, 5, 1) },
+		func() { New(2, 1, 1).Step().Send(0, 1, -1) },
+		func() { New(2, 1, 1).Step().Compute(7, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestAlg1BSPVolumesMatchTheorem3: the BSP schedule of Algorithm 1 moves
+// exactly the Theorem 3 volume per processor — the bounds are
+// model-robust — in all three cases, for both collective families.
+func TestAlg1BSPVolumesMatchTheorem3(t *testing.T) {
+	d := core.NewDims(768, 192, 48)
+	for _, p := range []int{2, 3, 4, 16, 36, 64, 512} {
+		g, err := grid.CaseGrid(d, p)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		for _, recursive := range []bool{false, true} {
+			_, m := Alg1BSP(d, g, 1, 0, recursive)
+			got := m.MaxReceivedTotal()
+			want := core.LowerBound(d, p)
+			if math.Abs(got-want) > 1e-9*(1+want) {
+				t.Errorf("P=%d recursive=%v: BSP volume %v, bound %v", p, recursive, got, want)
+			}
+		}
+	}
+}
+
+// TestAlg1BSPHRelations: with balanced fibers the per-superstep h-relation
+// equals what any single processor sends, so HSum equals the per-processor
+// volume as well.
+func TestAlg1BSPHRelations(t *testing.T) {
+	d := core.NewDims(768, 192, 48)
+	g, _ := grid.CaseGrid(d, 512)
+	cost, m := Alg1BSP(d, g, 1, 0, true)
+	if math.Abs(cost.HSum-m.MaxReceivedTotal()) > 1e-9 {
+		t.Fatalf("HSum %v != max received %v (balanced schedule)", cost.HSum, m.MaxReceivedTotal())
+	}
+	// Superstep count: log2 of each fiber + 1 compute step.
+	want := log2(g.P3) + log2(g.P1) + log2(g.P2) + 1
+	if cost.Supersteps != want {
+		t.Fatalf("supersteps = %d, want %d", cost.Supersteps, want)
+	}
+}
+
+func TestAlg1BSPRingMoreSupersteps(t *testing.T) {
+	d := core.Square(64)
+	g := grid.Grid{P1: 4, P2: 4, P3: 4}
+	rec, _ := Alg1BSP(d, g, 1, 1, true)
+	ring, _ := Alg1BSP(d, g, 1, 1, false)
+	if ring.Supersteps <= rec.Supersteps {
+		t.Fatalf("ring %d supersteps, recursive %d", ring.Supersteps, rec.Supersteps)
+	}
+	if math.Abs(ring.HSum-rec.HSum) > 1e-9 {
+		t.Fatalf("bandwidth differs: ring %v recursive %v", ring.HSum, rec.HSum)
+	}
+}
+
+// TestLPRAMTightness: in the LPRAM model the bound is the full D and
+// Algorithm 1 attains it with the §5.2 grid — tightening Aggarwal et
+// al.'s (1/2)^{2/3} constant to the paper's 3 in the cubic case.
+func TestLPRAMTightness(t *testing.T) {
+	d := core.NewDims(9600, 2400, 600)
+	for _, p := range []int{3, 36, 512} {
+		g, err := grid.CaseGrid(d, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := LPRAMAlg1Cost(d, g)
+		want := LPRAMLowerBound(d, p)
+		if math.Abs(got-want) > 1e-6*want {
+			t.Errorf("P=%d: LPRAM cost %v, bound %v", p, got, want)
+		}
+	}
+	// The LPRAM bound exceeds the distributed bound by the owned-data term.
+	if LPRAMLowerBound(d, 512) <= core.LowerBound(d, 512) {
+		t.Error("LPRAM bound should exceed the distributed bound")
+	}
+}
+
+// TestBSPComputeBalance: the computation superstep charges mnk/P.
+func TestBSPComputeBalance(t *testing.T) {
+	d := core.Square(32)
+	g := grid.Grid{P1: 2, P2: 2, P3: 2}
+	cost, _ := Alg1BSP(d, g, 0, 0, true)
+	// mnk/P plus the reduce-scatter additions.
+	minWant := d.Flops() / 8
+	if cost.Flops < minWant {
+		t.Fatalf("flops %v below local multiply %v", cost.Flops, minWant)
+	}
+}

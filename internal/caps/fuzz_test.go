@@ -1,0 +1,41 @@
+package caps
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/matrix"
+)
+
+// FuzzCAPSCorrectness fuzzes sizes, seeds, and recursion depths of the
+// parallel Strassen execution against the classical serial product, and
+// the measured volumes against the counting twin.
+func FuzzCAPSCorrectness(f *testing.F) {
+	f.Add(uint8(8), uint8(1), uint64(1))
+	f.Add(uint8(16), uint8(2), uint64(2))
+	f.Add(uint8(22), uint8(1), uint64(3))
+	f.Fuzz(func(t *testing.T, nRaw, lRaw uint8, seed uint64) {
+		levels := int(lRaw % 3)
+		unit := 1 << levels
+		n := (int(nRaw%24) + 1) * unit // guarantees divisibility
+		if levels == 2 && n > 32 {
+			n = 32 // keep 49-rank runs small
+		}
+		a := matrix.Random(n, n, seed)
+		b := matrix.Random(n, n, seed+1)
+		res, err := Multiply(a, b, levels, machine.BandwidthOnly())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := matrix.Mul(a, b)
+		if diff := res.C.MaxAbsDiff(want); diff > 1e-9*float64(n+1)*float64(uint(1)<<uint(2*levels)) {
+			t.Fatalf("n=%d levels=%d: max diff %g", n, levels, diff)
+		}
+		pred := PredictedVolumes(n, levels)
+		for r, rs := range res.Stats.Ranks {
+			if rs.WordsRecv != pred[r] {
+				t.Fatalf("n=%d levels=%d rank %d: measured %v predicted %v", n, levels, r, rs.WordsRecv, pred[r])
+			}
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package caps
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/matrix"
+)
+
+// tag layout per recursion level: 14 downward tags (T and S per branch),
+// 7 upward tags, stepped by tagStride per level.
+const tagStride = 64
+
+// capsNode executes one BFS Strassen node for the calling rank: group is
+// the participating ranks (ascending), n the current square size, aShare
+// and bShare the rank's shares under the invariant at leaf depth
+// log7(len(group)). It returns the rank's share of the product under the
+// same invariant.
+func capsNode(r *machine.Rank, group []int, n int, aShare, bShare []float64, tagBase int) []float64 {
+	q := len(group)
+	if q == 1 {
+		a := matrix.New(n, n)
+		a.Unpack(aShare)
+		b := matrix.New(n, n)
+		b.Unpack(bShare)
+		r.Compute(float64(n) * float64(n) * float64(n))
+		return matrix.Mul(a, b).Pack()
+	}
+	d := log7(q)
+	subSize := q / 7
+	me := indexOf(group, r.ID())
+	mySub := me / subSize
+	idx := me % subSize
+	numLeaves := pow4(d - 1)
+	half := n / 2
+	leafW := (half * half) / numLeaves // == (n >> d)²
+
+	quarter := len(aShare) / 4
+	a11, a12 := aShare[0:quarter], aShare[quarter:2*quarter]
+	a21, a22 := aShare[2*quarter:3*quarter], aShare[3*quarter:]
+	b11, b12 := bShare[0:quarter], bShare[quarter:2*quarter]
+	b21, b22 := bShare[2*quarter:3*quarter], bShare[3*quarter:]
+
+	// Strassen operand combinations (local vector arithmetic).
+	t := [7][]float64{
+		vAdd(a11, a22), // M1
+		vAdd(a21, a22), // M2
+		vCopy(a11),     // M3
+		vCopy(a22),     // M4
+		vAdd(a11, a12), // M5
+		vSub(a21, a11), // M6
+		vSub(a12, a22), // M7
+	}
+	s := [7][]float64{
+		vAdd(b11, b22),
+		vCopy(b11),
+		vSub(b12, b22),
+		vSub(b21, b11),
+		vCopy(b22),
+		vAdd(b11, b12),
+		vAdd(b21, b22),
+	}
+	r.Compute(float64(10 * quarter)) // 5 A-side + 5 B-side vector adds
+
+	myOldSize := matrix.PartSize(leafW, q, me)
+	myOldStart := matrix.PartStart(leafW, q, me)
+	if len(t[0]) != numLeaves*myOldSize {
+		panic(fmt.Sprintf("caps: share layout broken: %d != %d*%d", len(t[0]), numLeaves, myOldSize))
+	}
+
+	// Downward sends: my pieces of every T_i, S_i to their new owners in
+	// subgroup i. One batched message per (destination, matrix): the
+	// per-leaf overlap is at the same offset within every leaf's range.
+	for i := 0; i < 7; i++ {
+		for tt := 0; tt < subSize; tt++ {
+			dst := group[i*subSize+tt]
+			if dst == r.ID() {
+				continue
+			}
+			nStart := matrix.PartStart(leafW, subSize, tt)
+			nSize := matrix.PartSize(leafW, subSize, tt)
+			lo, hi := overlap(myOldStart, myOldStart+myOldSize, nStart, nStart+nSize)
+			if lo >= hi {
+				continue
+			}
+			r.Send(dst, tagBase+2*i, gatherPieces(t[i], numLeaves, myOldSize, lo-myOldStart, hi-lo))
+			r.Send(dst, tagBase+2*i+1, gatherPieces(s[i], numLeaves, myOldSize, lo-myOldStart, hi-lo))
+		}
+	}
+
+	// Downward receives: assemble my new shares of T_{mySub}, S_{mySub}.
+	newSize := matrix.PartSize(leafW, subSize, idx)
+	newStart := matrix.PartStart(leafW, subSize, idx)
+	newT := make([]float64, numLeaves*newSize)
+	newS := make([]float64, numLeaves*newSize)
+	r.GrowMemory(float64(2 * len(newT)))
+	for src := 0; src < q; src++ {
+		sStart := matrix.PartStart(leafW, q, src)
+		sSize := matrix.PartSize(leafW, q, src)
+		lo, hi := overlap(sStart, sStart+sSize, newStart, newStart+newSize)
+		if lo >= hi {
+			continue
+		}
+		if group[src] == r.ID() {
+			scatterPieces(newT, numLeaves, newSize, lo-newStart,
+				gatherPieces(t[mySub], numLeaves, myOldSize, lo-myOldStart, hi-lo), hi-lo)
+			scatterPieces(newS, numLeaves, newSize, lo-newStart,
+				gatherPieces(s[mySub], numLeaves, myOldSize, lo-myOldStart, hi-lo), hi-lo)
+			continue
+		}
+		scatterPieces(newT, numLeaves, newSize, lo-newStart, r.Recv(group[src], tagBase+2*mySub), hi-lo)
+		scatterPieces(newS, numLeaves, newSize, lo-newStart, r.Recv(group[src], tagBase+2*mySub+1), hi-lo)
+	}
+
+	// Recurse on my subgroup's subproblem.
+	sub := group[mySub*subSize : (mySub+1)*subSize]
+	mShare := capsNode(r, sub, half, newT, newS, tagBase+tagStride)
+
+	// Upward sends: my pieces of M_{mySub} to every rank of the full
+	// group (each needs its 1/q range of every leaf of every M).
+	for t2 := 0; t2 < q; t2++ {
+		dst := group[t2]
+		if dst == r.ID() {
+			continue
+		}
+		tStart := matrix.PartStart(leafW, q, t2)
+		tSize := matrix.PartSize(leafW, q, t2)
+		lo, hi := overlap(newStart, newStart+newSize, tStart, tStart+tSize)
+		if lo >= hi {
+			continue
+		}
+		r.Send(dst, tagBase+32+mySub, gatherPieces(mShare, numLeaves, newSize, lo-newStart, hi-lo))
+	}
+
+	// Upward receives: my 1/q range of every leaf of all seven products.
+	m := make([][]float64, 7)
+	for i := range m {
+		m[i] = make([]float64, numLeaves*myOldSize)
+	}
+	r.GrowMemory(float64(7 * numLeaves * myOldSize))
+	for i := 0; i < 7; i++ {
+		for sIdx := 0; sIdx < subSize; sIdx++ {
+			srcRank := group[i*subSize+sIdx]
+			sStart := matrix.PartStart(leafW, subSize, sIdx)
+			sSize := matrix.PartSize(leafW, subSize, sIdx)
+			lo, hi := overlap(sStart, sStart+sSize, myOldStart, myOldStart+myOldSize)
+			if lo >= hi {
+				continue
+			}
+			if srcRank == r.ID() {
+				scatterPieces(m[i], numLeaves, myOldSize, lo-myOldStart,
+					gatherPieces(mShare, numLeaves, newSize, lo-newStart, hi-lo), hi-lo)
+				continue
+			}
+			scatterPieces(m[i], numLeaves, myOldSize, lo-myOldStart, r.Recv(srcRank, tagBase+32+i), hi-lo)
+		}
+	}
+
+	// Combine into the C quadrants (Strassen's reconstruction).
+	c11 := vAdd(vSub(vAdd(m[0], m[3]), m[4]), m[6])
+	c12 := vAdd(m[2], m[4])
+	c21 := vAdd(m[1], m[3])
+	c22 := vAdd(vSub(vAdd(m[0], m[2]), m[1]), m[5])
+	r.Compute(float64(8 * numLeaves * myOldSize))
+
+	out := make([]float64, 0, 4*numLeaves*myOldSize)
+	out = append(out, c11...)
+	out = append(out, c12...)
+	out = append(out, c21...)
+	out = append(out, c22...)
+	return out
+}
+
+// gatherPieces extracts, from a share vector of numLeaves leaves of
+// perLeaf words each, the sub-range [off, off+length) of every leaf,
+// concatenated.
+func gatherPieces(share []float64, numLeaves, perLeaf, off, length int) []float64 {
+	out := make([]float64, 0, numLeaves*length)
+	for j := 0; j < numLeaves; j++ {
+		base := j*perLeaf + off
+		out = append(out, share[base:base+length]...)
+	}
+	return out
+}
+
+// scatterPieces writes a gatherPieces-formatted message into the target
+// share vector at per-leaf offset off.
+func scatterPieces(share []float64, numLeaves, perLeaf, off int, data []float64, length int) {
+	if len(data) != numLeaves*length {
+		panic(fmt.Sprintf("caps: piece message has %d words, want %d", len(data), numLeaves*length))
+	}
+	for j := 0; j < numLeaves; j++ {
+		copy(share[j*perLeaf+off:j*perLeaf+off+length], data[j*length:(j+1)*length])
+	}
+}
+
+func indexOf(group []int, rank int) int {
+	for i, g := range group {
+		if g == rank {
+			return i
+		}
+	}
+	panic("caps: rank not in group")
+}

@@ -1,0 +1,114 @@
+package caps
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// leafBlocks returns the depth-d quadtree leaf views of the square matrix
+// m, in recursive NW, NE, SW, SE order (4^d equally sized blocks).
+func leafBlocks(m *matrix.Dense, d int) []*matrix.Dense {
+	if d == 0 {
+		return []*matrix.Dense{m}
+	}
+	n := m.Rows()
+	if n%2 != 0 {
+		panic(fmt.Sprintf("caps: odd dimension %d at depth %d", n, d))
+	}
+	h := n / 2
+	var out []*matrix.Dense
+	for _, q := range []*matrix.Dense{
+		m.View(0, 0, h, h), m.View(0, h, h, h),
+		m.View(h, 0, h, h), m.View(h, h, h, h),
+	} {
+		out = append(out, leafBlocks(q, d-1)...)
+	}
+	return out
+}
+
+// extractShare returns rank me's share of matrix m under the CAPS
+// invariant at leaf depth d over q ranks: the concatenation, per leaf, of
+// the me'th balanced range of the leaf's packed words.
+func extractShare(m *matrix.Dense, d, q, me int) []float64 {
+	leaves := leafBlocks(m, d)
+	w := leaves[0].Size()
+	ps := matrix.PartSize(w, q, me)
+	st := matrix.PartStart(w, q, me)
+	out := make([]float64, 0, len(leaves)*ps)
+	for _, leaf := range leaves {
+		packed := leaf.Pack()
+		out = append(out, packed[st:st+ps]...)
+	}
+	return out
+}
+
+// assemble reconstructs the n×n product from the per-rank C shares.
+func assemble(n, d, q int, shares [][]float64) *matrix.Dense {
+	c := matrix.New(n, n)
+	leaves := leafBlocks(c, d)
+	w := leaves[0].Size()
+	buf := make([]float64, w)
+	for j, leaf := range leaves {
+		for r := 0; r < q; r++ {
+			ps := matrix.PartSize(w, q, r)
+			st := matrix.PartStart(w, q, r)
+			copy(buf[st:st+ps], shares[r][j*ps:(j+1)*ps])
+		}
+		leaf.Unpack(buf)
+	}
+	return c
+}
+
+// overlap returns the intersection of [a1, a2) and [b1, b2).
+func overlap(a1, a2, b1, b2 int) (int, int) {
+	lo, hi := a1, a2
+	if b1 > lo {
+		lo = b1
+	}
+	if b2 < hi {
+		hi = b2
+	}
+	return lo, hi
+}
+
+// vec helpers: elementwise combinations of equal-length share vectors.
+
+func vAdd(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+func vSub(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+func vCopy(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+func log7(q int) int {
+	d := 0
+	for q > 1 {
+		q /= 7
+		d++
+	}
+	return d
+}
+
+func pow4(d int) int {
+	out := 1
+	for i := 0; i < d; i++ {
+		out *= 4
+	}
+	return out
+}

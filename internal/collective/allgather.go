@@ -1,0 +1,76 @@
+package collective
+
+import "fmt"
+
+// AllGather gathers equal-size blocks from every member and returns the
+// concatenation in member order (every member returns the same result).
+// Per-rank bandwidth is exactly (1 − 1/p)·W where W is the gathered size.
+func (g *Group) AllGather(myBlock []float64) []float64 {
+	return g.AllGatherV(myBlock, uniformCounts(len(g.members), len(myBlock)))
+}
+
+// AllGatherV is AllGather with per-member block sizes. counts[i] is the
+// length of member i's contribution; len(myBlock) must equal
+// counts[g.Index()].
+func (g *Group) AllGatherV(myBlock []float64, counts []int) []float64 {
+	p := len(g.members)
+	if len(counts) != p {
+		panic(fmt.Sprintf("collective: %d counts for group of %d", len(counts), p))
+	}
+	if len(myBlock) != counts[g.me] {
+		panic(fmt.Sprintf("collective: block size %d but counts[%d] = %d", len(myBlock), g.me, counts[g.me]))
+	}
+	starts, total := offsets(counts)
+	out := make([]float64, total)
+	copy(out[starts[g.me]:], myBlock)
+	if p == 1 {
+		return out
+	}
+	if g.useRecursive() {
+		g.allGatherRecursive(out, starts, counts)
+	} else {
+		g.allGatherRing(out, starts, counts)
+	}
+	return out
+}
+
+// allGatherRing runs the p−1-step ring algorithm: at step s, member i
+// forwards the block of member (i−s) mod p to its right neighbour and
+// receives the block of member (i−s−1) mod p from its left neighbour.
+func (g *Group) allGatherRing(out []float64, starts, counts []int) {
+	p := len(g.members)
+	right := (g.me + 1) % p
+	left := (g.me - 1 + p) % p
+	for s := 0; s < p-1; s++ {
+		sendIdx := (g.me - s + p*p) % p
+		recvIdx := (g.me - s - 1 + p*p) % p
+		g.send(right, opAllGather, out[starts[sendIdx]:starts[sendIdx]+counts[sendIdx]])
+		got := g.recv(left, opAllGather)
+		if len(got) != counts[recvIdx] {
+			panic(fmt.Sprintf("collective: allgather ring got %d words, want %d", len(got), counts[recvIdx]))
+		}
+		copy(out[starts[recvIdx]:], got)
+	}
+}
+
+// allGatherRecursive runs the log₂(p)-step recursive-doubling algorithm
+// (p must be a power of two): at step s each member exchanges its owned
+// aligned 2^s member-range with the sibling range of partner me XOR 2^s.
+func (g *Group) allGatherRecursive(out []float64, starts, counts []int) {
+	p := len(g.members)
+	for span := 1; span < p; span <<= 1 {
+		partner := g.me ^ span
+		// Owned member range: the aligned block of size span containing me.
+		myLo := g.me &^ (span - 1)
+		theirLo := partner &^ (span - 1)
+		myStart := starts[myLo]
+		myEnd := starts[myLo+span-1] + counts[myLo+span-1]
+		theirStart := starts[theirLo]
+		theirEnd := starts[theirLo+span-1] + counts[theirLo+span-1]
+		got := g.sendRecv(partner, partner, opAllGather, out[myStart:myEnd])
+		if len(got) != theirEnd-theirStart {
+			panic(fmt.Sprintf("collective: allgather doubling got %d words, want %d", len(got), theirEnd-theirStart))
+		}
+		copy(out[theirStart:], got)
+	}
+}

@@ -1,0 +1,113 @@
+package collective
+
+import "fmt"
+
+// BcastLong broadcasts data from root using the long-vector algorithm of
+// van de Geijn (scatter + all-gather, cf. Chan et al. 2007): the root
+// binomial-scatters p chunks, then the group all-gathers them. Its critical
+// path is ≈ 2(1 − 1/p)·β·w versus the binomial tree's log₂(p)·β·w — the
+// right trade for large messages. The vector length must be known at every
+// member (passed via words); non-roots pass nil data.
+func (g *Group) BcastLong(data []float64, root, words int) []float64 {
+	p := len(g.members)
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("collective: BcastLong root %d of %d", root, p))
+	}
+	if g.me == root && len(data) != words {
+		panic(fmt.Sprintf("collective: BcastLong root has %d words, declared %d", len(data), words))
+	}
+	if p == 1 {
+		out := make([]float64, words)
+		copy(out, data)
+		return out
+	}
+	// Chunk q (in virtual-rank space, root = vrank 0) is member
+	// (root+q) mod p's slice of the member-order output layout. Bundles
+	// travel in vrank order so subtree ranges stay contiguous.
+	counts := balancedCounts(words, p)
+	vrank := (g.me - root + p) % p
+
+	var mine []float64
+	if vrank == 0 {
+		// Build the rotated (vrank-ordered) bundle from the data.
+		bundle := make([]float64, 0, words)
+		for q := 0; q < p; q++ {
+			member := (root + q) % p
+			off := memberOffset(counts, member)
+			bundle = append(bundle, data[off:off+counts[member]]...)
+		}
+		// Scatter to children at decreasing binomial distances.
+		mask := 1
+		for mask < p {
+			mask <<= 1
+		}
+		for mask >>= 1; mask > 0; mask >>= 1 {
+			if mask < p {
+				childLo, childSize := mask, mask
+				if childLo+childSize > p {
+					childSize = p - childLo
+				}
+				off := vrankOffset(counts, root, childLo)
+				length := vrankOffset(counts, root, childLo+childSize) - off
+				g.send(g.indexOf((childLo+root)%p), opScatter, bundle[off:off+length])
+			}
+		}
+		mine = make([]float64, counts[g.me])
+		copy(mine, bundle[:counts[g.me]])
+	} else {
+		// Receive my subtree's bundle from my binomial parent, forward
+		// sub-bundles to my children, and keep my own chunk.
+		lo, size := 0, 0
+		var bundle []float64
+		mask := 1
+		for mask < p {
+			if vrank&mask != 0 {
+				lo, size = vrank, mask
+				if lo+size > p {
+					size = p - lo
+				}
+				bundle = g.recv(g.indexOf(((vrank-mask)+root)%p), opScatter)
+				break
+			}
+			mask <<= 1
+		}
+		base := vrankOffset(counts, root, lo)
+		for mask >>= 1; mask > 0; mask >>= 1 {
+			if vrank+mask < lo+size {
+				childLo, childSize := vrank+mask, mask
+				if childLo+childSize > lo+size {
+					childSize = lo + size - childLo
+				}
+				off := vrankOffset(counts, root, childLo) - base
+				length := vrankOffset(counts, root, childLo+childSize) - vrankOffset(counts, root, childLo)
+				g.send(g.indexOf((childLo+root)%p), opScatter, bundle[off:off+length])
+			}
+		}
+		myOff := vrankOffset(counts, root, vrank) - base
+		mine = make([]float64, counts[g.me])
+		copy(mine, bundle[myOff:myOff+counts[g.me]])
+	}
+	// Phase 2: all-gather the member-order chunks.
+	return g.AllGatherV(mine, counts)
+}
+
+// memberOffset returns the word offset of member m's chunk in the
+// member-order layout.
+func memberOffset(counts []int, m int) int {
+	s := 0
+	for i := 0; i < m; i++ {
+		s += counts[i]
+	}
+	return s
+}
+
+// vrankOffset returns the word offset of virtual rank v's chunk in the
+// vrank-order (rotated) bundle layout.
+func vrankOffset(counts []int, root, v int) int {
+	p := len(counts)
+	s := 0
+	for q := 0; q < v; q++ {
+		s += counts[(root+q)%p]
+	}
+	return s
+}

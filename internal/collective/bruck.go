@@ -1,0 +1,40 @@
+package collective
+
+import "fmt"
+
+// AllGatherBruck runs the Bruck all-gather: ⌈log₂ p⌉ rounds for any group
+// size (not just powers of two), doubling the gathered prefix each round in
+// a rotated index space and unrotating at the end. Bandwidth matches the
+// ring at (1 − 1/p)·W; the message count drops from p−1 to ⌈log₂ p⌉, which
+// is the latency-optimal trade for small blocks on non-power-of-two groups
+// (Bruck et al. 1997; Thakur et al. 2005). Blocks must be equal-sized.
+func (g *Group) AllGatherBruck(myBlock []float64) []float64 {
+	p := len(g.members)
+	w := len(myBlock)
+	out := make([]float64, p*w)
+	// Work in rotated space: position q holds the block of member
+	// (me + q) mod p.
+	buf := make([]float64, p*w)
+	copy(buf[:w], myBlock)
+	have := 1
+	for have < p {
+		send := have
+		if send > p-have {
+			send = p - have
+		}
+		dst := (g.me - have + p) % p
+		src := (g.me + have) % p
+		got := g.sendRecv(dst, src, opAllGather, buf[:send*w])
+		if len(got) != send*w {
+			panic(fmt.Sprintf("collective: bruck got %d words, want %d", len(got), send*w))
+		}
+		copy(buf[have*w:], got)
+		have += send
+	}
+	// Unrotate: rotated position q is member (me + q) mod p.
+	for q := 0; q < p; q++ {
+		member := (g.me + q) % p
+		copy(out[member*w:(member+1)*w], buf[q*w:(q+1)*w])
+	}
+	return out
+}

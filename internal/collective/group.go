@@ -1,0 +1,156 @@
+// Package collective implements the MPI-style collective operations the
+// paper's Algorithm 1 is built from — All-Gather and Reduce-Scatter — plus
+// the supporting collectives (Broadcast, Reduce, All-Reduce, All-to-All,
+// Gather, Scatter) used by the baseline algorithms, all running over
+// arbitrary subsets ("fibers") of the simulated machine's ranks.
+//
+// Two algorithm families are provided, matching §5.1's assumption of
+// bandwidth-optimal collectives:
+//
+//   - Ring algorithms: p−1 steps, per-rank bandwidth exactly (1 − 1/p)·w
+//     for any group size and variable block sizes.
+//   - Recursive doubling (All-Gather) and recursive halving
+//     (Reduce-Scatter) — the "bidirectional exchange" algorithms of
+//     Thakur et al. 2005 and Chan et al. 2007 — log₂(p) steps with the
+//     same (1 − 1/p)·w bandwidth, used when the group size is a power of
+//     two.
+//
+// Per-rank received words for both families equal the textbook collective
+// cost, which the tests assert exactly; this is what makes the simulated
+// Algorithm 1 meet Theorem 3's bound word-for-word.
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Algorithm selects the collective implementation family.
+type Algorithm int
+
+const (
+	// Auto uses recursive doubling/halving for power-of-two group sizes
+	// and ring algorithms otherwise.
+	Auto Algorithm = iota
+	// Ring forces the ring algorithms.
+	Ring
+	// Recursive forces recursive doubling/halving (panics if the group
+	// size is not a power of two).
+	Recursive
+)
+
+// Group is a communicator: an ordered set of machine ranks participating in
+// collectives together. Each member constructs its own Group value with the
+// same member list and tag base (like an MPI communicator).
+type Group struct {
+	rank    *machine.Rank
+	members []int
+	me      int // index of rank within members
+	tagBase int
+	alg     Algorithm
+}
+
+// opcode offsets keep concurrent-by-construction collectives on disjoint
+// tags. Within one collective call all messages use tagBase+opcode; FIFO
+// per (src, dst, tag) plus SPMD program order make this unambiguous.
+const (
+	opAllGather = iota + 1
+	opReduceScatter
+	opBcast
+	opReduce
+	opAllToAll
+	opGather
+	opScatter
+)
+
+// NewGroup creates the communicator for rank r over the given global rank
+// ids (identical order on every member). tagBase isolates this group's
+// traffic from other groups that share rank pairs; callers give distinct
+// bases to logically distinct communicators.
+func NewGroup(r *machine.Rank, members []int, tagBase int, alg Algorithm) *Group {
+	me := -1
+	seen := make(map[int]bool, len(members))
+	for i, m := range members {
+		if m < 0 || m >= r.P() {
+			panic(fmt.Sprintf("collective: member %d out of range", m))
+		}
+		if seen[m] {
+			panic(fmt.Sprintf("collective: duplicate member %d", m))
+		}
+		seen[m] = true
+		if m == r.ID() {
+			me = i
+		}
+	}
+	if me < 0 {
+		panic(fmt.Sprintf("collective: rank %d not in group %v", r.ID(), members))
+	}
+	return &Group{rank: r, members: members, me: me, tagBase: tagBase, alg: alg}
+}
+
+// Size returns the number of group members.
+func (g *Group) Size() int { return len(g.members) }
+
+// Index returns this rank's position within the group.
+func (g *Group) Index() int { return g.me }
+
+// Members returns the global rank ids of the group.
+func (g *Group) Members() []int { return g.members }
+
+// tag builds the message tag for an opcode within this group.
+func (g *Group) tag(op int) int { return g.tagBase*64 + op }
+
+// send/recv address peers by group index.
+func (g *Group) send(peerIdx, op int, data []float64) {
+	g.rank.Send(g.members[peerIdx], g.tag(op), data)
+}
+
+func (g *Group) recv(peerIdx, op int) []float64 {
+	return g.rank.Recv(g.members[peerIdx], g.tag(op))
+}
+
+func (g *Group) sendRecv(dstIdx, srcIdx, op int, data []float64) []float64 {
+	g.send(dstIdx, op, data)
+	return g.recv(srcIdx, op)
+}
+
+// useRecursive reports whether the recursive algorithms should run for this
+// group under the configured Algorithm policy.
+func (g *Group) useRecursive() bool {
+	p := len(g.members)
+	pow2 := p&(p-1) == 0
+	switch g.alg {
+	case Ring:
+		return false
+	case Recursive:
+		if !pow2 {
+			panic(fmt.Sprintf("collective: Recursive algorithms need power-of-two group, got %d", p))
+		}
+		return true
+	default:
+		return pow2
+	}
+}
+
+// offsets converts per-member counts into start offsets plus total.
+func offsets(counts []int) (starts []int, total int) {
+	starts = make([]int, len(counts))
+	for i, c := range counts {
+		if c < 0 {
+			panic(fmt.Sprintf("collective: negative count %d", c))
+		}
+		starts[i] = total
+		total += c
+	}
+	return starts, total
+}
+
+// uniformCounts returns a counts slice of p copies of n.
+func uniformCounts(p, n int) []int {
+	c := make([]int, p)
+	for i := range c {
+		c[i] = n
+	}
+	return c
+}

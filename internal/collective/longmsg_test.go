@@ -1,0 +1,135 @@
+package collective
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestAllGatherBruckCorrectness(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 13} {
+		res, stats := runAll(t, p, Auto, func(g *Group) []float64 {
+			return g.AllGatherBruck(seqBlock(g.Index(), 3))
+		})
+		var want []float64
+		for i := 0; i < p; i++ {
+			want = append(want, seqBlock(i, 3)...)
+		}
+		for r := 0; r < p; r++ {
+			if !reflect.DeepEqual(res[r], want) {
+				t.Fatalf("p=%d rank %d: %v, want %v", p, r, res[r], want)
+			}
+		}
+		// Bandwidth equals the ring's (1-1/p)·W.
+		for r, rs := range stats.Ranks {
+			if rs.WordsRecv != float64((p-1)*3) {
+				t.Fatalf("p=%d rank %d recv %v", p, r, rs.WordsRecv)
+			}
+		}
+	}
+}
+
+func TestAllGatherBruckLogMessages(t *testing.T) {
+	// p = 13: ring needs 12 messages, Bruck ⌈log₂13⌉ = 4.
+	_, stats := runAll(t, 13, Auto, func(g *Group) []float64 {
+		return g.AllGatherBruck(seqBlock(g.Index(), 2))
+	})
+	if got := stats.Ranks[0].MsgsSent; got != 4 {
+		t.Fatalf("Bruck messages = %d, want 4", got)
+	}
+}
+
+func TestBcastLongCorrectness(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 8, 11} {
+		for root := 0; root < p; root += 3 {
+			words := 2*p + 3 // deliberately not divisible by p
+			payload := make([]float64, words)
+			for i := range payload {
+				payload[i] = float64(i + 1)
+			}
+			res, _ := runAll(t, p, Auto, func(g *Group) []float64 {
+				var data []float64
+				if g.Index() == root {
+					data = payload
+				}
+				return g.BcastLong(data, root, words)
+			})
+			for r := 0; r < p; r++ {
+				if !reflect.DeepEqual(res[r], payload) {
+					t.Fatalf("p=%d root=%d rank %d: %v, want %v", p, root, r, res[r], payload)
+				}
+			}
+		}
+	}
+}
+
+// TestBcastLongCriticalPathBeatsTree: for large messages, scatter+allgather
+// has a shorter simulated critical path than the binomial tree.
+func TestBcastLongCriticalPathBeatsTree(t *testing.T) {
+	p, words := 16, 1<<14
+	payload := make([]float64, words)
+	run := func(long bool) float64 {
+		w := machine.NewWorld(p, machine.Config{Beta: 1})
+		members := make([]int, p)
+		for i := range members {
+			members[i] = i
+		}
+		err := w.Run(func(r *machine.Rank) {
+			g := NewGroup(r, members, 1, Auto)
+			var data []float64
+			if r.ID() == 0 {
+				data = payload
+			}
+			if long {
+				g.BcastLong(data, 0, words)
+			} else {
+				g.Bcast(data, 0)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Stats().CriticalPath
+	}
+	tree := run(false)
+	long := run(true)
+	if long >= tree {
+		t.Fatalf("BcastLong critical path %v not below tree %v", long, tree)
+	}
+	// Tree ≈ log2(p)·w = 4w; long ≈ 2(1-1/p)·w < 2w.
+	if long > 2.2*float64(words) {
+		t.Fatalf("BcastLong critical path %v, expected ≈ %v", long, 2*float64(words))
+	}
+	if math.Abs(tree-4*float64(words)) > 0.2*float64(words) {
+		t.Fatalf("tree critical path %v, expected ≈ %v", tree, 4*float64(words))
+	}
+}
+
+func TestBcastLongValidation(t *testing.T) {
+	// Root length mismatch panics (single-rank world: validation precedes
+	// any communication).
+	w := machine.NewWorld(1, machine.BandwidthOnly())
+	err := w.Run(func(r *machine.Rank) {
+		g := NewGroup(r, []int{0}, 1, Auto)
+		g.BcastLong([]float64{1, 2}, 0, 3)
+	})
+	if err == nil {
+		t.Fatal("expected error for declared-length mismatch")
+	}
+}
+
+// TestEarlyExitDeadlockDetected: a rank returning while a peer still waits
+// for its message is reported as a deadlock, not a hang.
+func TestEarlyExitDeadlockDetected(t *testing.T) {
+	w := machine.NewWorld(2, machine.BandwidthOnly())
+	err := w.Run(func(r *machine.Rank) {
+		if r.ID() == 1 {
+			r.Recv(0, 9) // never sent
+		}
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error for early rank exit")
+	}
+}

@@ -1,0 +1,199 @@
+package collective
+
+import "fmt"
+
+// Bcast broadcasts data from the member with group index root to all
+// members using a binomial tree (log₂(p) rounds). Every member returns the
+// broadcast vector; non-root callers pass nil.
+func (g *Group) Bcast(data []float64, root int) []float64 {
+	p := len(g.members)
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("collective: Bcast root %d of %d", root, p))
+	}
+	if p == 1 {
+		return data
+	}
+	// Virtual ranks place the root at 0.
+	vrank := (g.me - root + p) % p
+	// Receive phase: find the lowest set bit window in which we receive.
+	mask := 1
+	for mask < p {
+		if vrank&mask != 0 {
+			src := ((vrank - mask) + root) % p
+			data = g.recv(g.indexOf(src), opBcast)
+			break
+		}
+		mask <<= 1
+	}
+	// Send phase: forward to children at decreasing distances.
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < p {
+			dst := ((vrank + mask) + root) % p
+			g.send(g.indexOf(dst), opBcast, data)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// Reduce sums the equal-length vectors of all members onto the member with
+// group index root using a binomial tree. The root returns the sum; other
+// members return nil.
+func (g *Group) Reduce(data []float64, root int) []float64 {
+	p := len(g.members)
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("collective: Reduce root %d of %d", root, p))
+	}
+	if p == 1 {
+		out := make([]float64, len(data))
+		copy(out, data)
+		return out
+	}
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	vrank := (g.me - root + p) % p
+	mask := 1
+	for mask < p {
+		if vrank&mask != 0 {
+			dst := ((vrank - mask) + root) % p
+			g.send(g.indexOf(dst), opReduce, acc)
+			return nil
+		}
+		if vrank+mask < p {
+			src := ((vrank + mask) + root) % p
+			got := g.recv(g.indexOf(src), opReduce)
+			if len(got) != len(acc) {
+				panic(fmt.Sprintf("collective: Reduce got %d words, want %d", len(got), len(acc)))
+			}
+			for i, v := range got {
+				acc[i] += v
+			}
+			g.rank.Compute(float64(len(got)))
+		}
+		mask <<= 1
+	}
+	return acc
+}
+
+// AllReduce sums equal-length vectors across members, every member
+// receiving the full result. It composes ReduceScatterV and AllGatherV
+// over a balanced split, which is bandwidth-optimal at 2(1 − 1/p)·w.
+func (g *Group) AllReduce(data []float64) []float64 {
+	p := len(g.members)
+	if p == 1 {
+		out := make([]float64, len(data))
+		copy(out, data)
+		return out
+	}
+	counts := balancedCounts(len(data), p)
+	mine := g.ReduceScatterV(data, counts)
+	return g.AllGatherV(mine, counts)
+}
+
+// AllToAll performs a personalized exchange: blocks[i] is sent to member i,
+// and the returned slice holds, per member index, the block received from
+// that member. Own block is passed through locally. The pairwise-exchange
+// schedule uses p−1 steps with send-to (me+s), receive-from (me−s).
+func (g *Group) AllToAll(blocks [][]float64) [][]float64 {
+	p := len(g.members)
+	if len(blocks) != p {
+		panic(fmt.Sprintf("collective: AllToAll got %d blocks for group of %d", len(blocks), p))
+	}
+	out := make([][]float64, p)
+	own := make([]float64, len(blocks[g.me]))
+	copy(own, blocks[g.me])
+	out[g.me] = own
+	for s := 1; s < p; s++ {
+		dst := (g.me + s) % p
+		src := (g.me - s + p) % p
+		out[src] = g.sendRecv(dst, src, opAllToAll, blocks[dst])
+	}
+	return out
+}
+
+// Gather collects every member's block at the member with group index
+// root, returned as per-member slices (nil for non-roots). Non-root
+// members send directly to the root; the root's bandwidth W − w_root is
+// optimal for gathers.
+func (g *Group) Gather(myBlock []float64, root int) [][]float64 {
+	p := len(g.members)
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("collective: Gather root %d of %d", root, p))
+	}
+	if g.me != root {
+		g.send(root, opGather, myBlock)
+		return nil
+	}
+	out := make([][]float64, p)
+	own := make([]float64, len(myBlock))
+	copy(own, myBlock)
+	out[root] = own
+	for i := 0; i < p; i++ {
+		if i != root {
+			out[i] = g.recv(i, opGather)
+		}
+	}
+	return out
+}
+
+// Scatter distributes blocks from the root: member i receives blocks[i].
+// Non-root callers pass nil.
+func (g *Group) Scatter(blocks [][]float64, root int) []float64 {
+	p := len(g.members)
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("collective: Scatter root %d of %d", root, p))
+	}
+	if g.me == root {
+		if len(blocks) != p {
+			panic(fmt.Sprintf("collective: Scatter got %d blocks for group of %d", len(blocks), p))
+		}
+		for i := 0; i < p; i++ {
+			if i != root {
+				g.send(i, opScatter, blocks[i])
+			}
+		}
+		own := make([]float64, len(blocks[root]))
+		copy(own, blocks[root])
+		return own
+	}
+	return g.recv(root, opScatter)
+}
+
+// Barrier synchronizes the group members' clocks without charging
+// communication, by a zero-word ring circulation that forces ordering and a
+// clock alignment via max exchange. For measurement-phase separation on the
+// whole world prefer machine.Rank.Barrier.
+func (g *Group) Barrier() {
+	p := len(g.members)
+	if p == 1 {
+		return
+	}
+	// Two ring sweeps of empty messages establish a happens-before chain
+	// through every member and align clocks to within the (zero) cost of
+	// empty messages under Beta-only cost models.
+	for sweep := 0; sweep < 2; sweep++ {
+		right := (g.me + 1) % p
+		left := (g.me - 1 + p) % p
+		g.send(right, opBcast, nil)
+		g.recv(left, opBcast)
+	}
+}
+
+// indexOf returns the group index of a virtual member id already in group
+// index space (identity); it exists for clarity at call sites that compute
+// virtual ranks.
+func (g *Group) indexOf(groupIdx int) int { return groupIdx }
+
+// balancedCounts splits total into p nearly equal integer parts.
+func balancedCounts(total, p int) []int {
+	counts := make([]int, p)
+	q, r := total/p, total%p
+	for i := range counts {
+		counts[i] = q
+		if i < r {
+			counts[i]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,109 @@
+package collective
+
+import "fmt"
+
+// ReduceScatter reduces (sums) a vector contributed by every member and
+// scatters the result in equal chunks: member i returns the i'th chunk of
+// the element-wise sum. len(data) must be divisible by the group size.
+func (g *Group) ReduceScatter(data []float64) []float64 {
+	p := len(g.members)
+	if len(data)%p != 0 {
+		panic(fmt.Sprintf("collective: ReduceScatter length %d not divisible by %d", len(data), p))
+	}
+	return g.ReduceScatterV(data, uniformCounts(p, len(data)/p))
+}
+
+// ReduceScatterV is ReduceScatter with per-member chunk sizes: every member
+// supplies a full vector of length sum(counts); member i returns the summed
+// chunk of length counts[i]. Per-rank bandwidth is exactly (1 − 1/p)·W for
+// balanced chunks (W − counts[me] in general) with the ring algorithm.
+func (g *Group) ReduceScatterV(data []float64, counts []int) []float64 {
+	p := len(g.members)
+	if len(counts) != p {
+		panic(fmt.Sprintf("collective: %d counts for group of %d", len(counts), p))
+	}
+	starts, total := offsets(counts)
+	if len(data) != total {
+		panic(fmt.Sprintf("collective: ReduceScatterV data length %d, counts sum %d", len(data), total))
+	}
+	if p == 1 {
+		out := make([]float64, total)
+		copy(out, data)
+		return out
+	}
+	// Work on a copy: the reduction accumulates in place.
+	buf := make([]float64, total)
+	copy(buf, data)
+	if g.useRecursive() {
+		return g.reduceScatterHalving(buf, starts, counts)
+	}
+	return g.reduceScatterRing(buf, starts, counts)
+}
+
+// reduceScatterRing runs the p−1-step ring algorithm: accumulated chunk j
+// travels j+1 → j+2 → … → j, gaining each member's contribution, so at
+// step s member i sends chunk (i−s−1) mod p and receives chunk
+// (i−s−2) mod p, which it accumulates.
+func (g *Group) reduceScatterRing(buf []float64, starts, counts []int) []float64 {
+	p := len(g.members)
+	right := (g.me + 1) % p
+	left := (g.me - 1 + p) % p
+	for s := 0; s < p-1; s++ {
+		sendIdx := (g.me - s - 1 + p*p) % p
+		recvIdx := (g.me - s - 2 + p*p) % p
+		g.send(right, opReduceScatter, buf[starts[sendIdx]:starts[sendIdx]+counts[sendIdx]])
+		got := g.recv(left, opReduceScatter)
+		if len(got) != counts[recvIdx] {
+			panic(fmt.Sprintf("collective: reduce-scatter ring got %d words, want %d", len(got), counts[recvIdx]))
+		}
+		chunk := buf[starts[recvIdx] : starts[recvIdx]+counts[recvIdx]]
+		for i, v := range got {
+			chunk[i] += v
+		}
+		g.rank.Compute(float64(len(got)))
+	}
+	out := make([]float64, counts[g.me])
+	copy(out, buf[starts[g.me]:starts[g.me]+counts[g.me]])
+	return out
+}
+
+// reduceScatterHalving runs the log₂(p)-step recursive-halving algorithm
+// (p must be a power of two): each step exchanges the half of the active
+// member range not containing me with a partner at that distance,
+// accumulating the received half.
+func (g *Group) reduceScatterHalving(buf []float64, starts, counts []int) []float64 {
+	p := len(g.members)
+	lo, size := 0, p
+	for size > 1 {
+		half := size / 2
+		mid := lo + half
+		var partner int
+		var keepLo, keepHi, giveLo, giveHi int // member-index ranges
+		if g.me < mid {
+			partner = g.me + half
+			keepLo, keepHi = lo, mid
+			giveLo, giveHi = mid, lo+size
+		} else {
+			partner = g.me - half
+			keepLo, keepHi = mid, lo+size
+			giveLo, giveHi = lo, mid
+		}
+		giveStart := starts[giveLo]
+		giveEnd := starts[giveHi-1] + counts[giveHi-1]
+		keepStart := starts[keepLo]
+		keepEnd := starts[keepHi-1] + counts[keepHi-1]
+		got := g.sendRecv(partner, partner, opReduceScatter, buf[giveStart:giveEnd])
+		if len(got) != keepEnd-keepStart {
+			panic(fmt.Sprintf("collective: reduce-scatter halving got %d words, want %d", len(got), keepEnd-keepStart))
+		}
+		keep := buf[keepStart:keepEnd]
+		for i, v := range got {
+			keep[i] += v
+		}
+		g.rank.Compute(float64(len(got)))
+		lo, size = keepLo, half
+	}
+	out := make([]float64, counts[g.me])
+	copy(out, buf[starts[g.me]:starts[g.me]+counts[g.me]])
+	return out
+}

@@ -1,0 +1,137 @@
+// Package core implements the paper's primary contribution: tight
+// memory-independent communication lower bounds for parallel classical
+// matrix multiplication (Al Daas, Ballard, Grigori, Kumar, Rouse,
+// SPAA 2022).
+//
+// The central objects are:
+//
+//   - Dims: the problem shape (an n1×n2 matrix times an n2×n3 matrix) and
+//     its sorted aspect view m ≥ n ≥ k used throughout the paper.
+//   - Case: which of Theorem 3's three regimes a (Dims, P) pair falls in,
+//     with thresholds P = m/n and P = mn/k².
+//   - Lemma2: the key constrained optimization problem and its analytic
+//     solution x*, both in the paper's closed form and via the generic
+//     water-filling solver of internal/kkt, together with the explicit dual
+//     certificates from the proof.
+//   - Theorem3: the lower bound D − (mn+mk+nk)/P with tight constants
+//     1, 2, 3 in the three cases, and Corollary 4 for square matrices.
+//   - Prior-work bounds (Table 1): Aggarwal-Chandra-Snir 1990,
+//     Irony-Toledo-Tiskin 2004, and Demmel et al. 2013 constants.
+//   - The memory-dependent bound 2mnk/(P·sqrt(M)) and the §6.2 analysis of
+//     when it dominates.
+//
+// All bounds are in words of data moved along the critical path, matching
+// the α-β-γ machine model of §3.1 (see internal/machine for the simulator
+// that measures the same quantity).
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dims describes a classical matrix multiplication C = A·B with A of size
+// N1×N2 and B of size N2×N3 (so C is N1×N3).
+type Dims struct {
+	N1, N2, N3 int
+}
+
+// Sorted returns the dimensions ordered as the paper's m ≥ n ≥ k:
+// m = max, n = median, k = min.
+func (d Dims) Sorted() (m, n, k int) {
+	v := []int{d.N1, d.N2, d.N3}
+	sort.Ints(v)
+	return v[2], v[1], v[0]
+}
+
+// Validate reports an error when any dimension is non-positive.
+func (d Dims) Validate() error {
+	if d.N1 <= 0 || d.N2 <= 0 || d.N3 <= 0 {
+		return fmt.Errorf("core: dimensions must be positive, got %dx%dx%d", d.N1, d.N2, d.N3)
+	}
+	return nil
+}
+
+// Flops returns the number of scalar multiplications n1·n2·n3.
+func (d Dims) Flops() float64 {
+	return float64(d.N1) * float64(d.N2) * float64(d.N3)
+}
+
+// InputOutputWords returns mn + mk + nk, the total number of words of the
+// three matrices (one copy of each): |A| + |B| + |C|.
+func (d Dims) InputOutputWords() float64 {
+	return float64(d.N1)*float64(d.N2) + float64(d.N2)*float64(d.N3) + float64(d.N1)*float64(d.N3)
+}
+
+// SizeA returns n1·n2, the number of words of A.
+func (d Dims) SizeA() float64 { return float64(d.N1) * float64(d.N2) }
+
+// SizeB returns n2·n3, the number of words of B.
+func (d Dims) SizeB() float64 { return float64(d.N2) * float64(d.N3) }
+
+// SizeC returns n1·n3, the number of words of C.
+func (d Dims) SizeC() float64 { return float64(d.N1) * float64(d.N3) }
+
+// Square returns the Dims of an n×n by n×n multiplication.
+func Square(n int) Dims { return Dims{n, n, n} }
+
+// String renders the shape as "n1xn2xn3".
+func (d Dims) String() string { return fmt.Sprintf("%dx%dx%d", d.N1, d.N2, d.N3) }
+
+// Case identifies which regime of Theorem 3 (equivalently, which active set
+// of Lemma 2) applies. The numbering matches the paper.
+type Case int
+
+const (
+	// Case1 is 1 ≤ P ≤ m/n: a 1D processor grid is optimal and the bound's
+	// leading term is nk with constant 1.
+	Case1 Case = 1
+	// Case2 is m/n ≤ P ≤ mn/k²: a 2D grid is optimal and the leading term
+	// is (mnk²/P)^{1/2} with constant 2.
+	Case2 Case = 2
+	// Case3 is mn/k² ≤ P: a 3D grid is optimal and the leading term is
+	// (mnk/P)^{2/3} with constant 3.
+	Case3 Case = 3
+)
+
+// String names the case with its grid dimensionality.
+func (c Case) String() string {
+	switch c {
+	case Case1:
+		return "Case 1 (1D)"
+	case Case2:
+		return "Case 2 (2D)"
+	case Case3:
+		return "Case 3 (3D)"
+	}
+	return fmt.Sprintf("Case(%d)", int(c))
+}
+
+// GridDim returns the effective processor-grid dimensionality (1, 2 or 3)
+// of the optimal algorithm in this case.
+func (c Case) GridDim() int { return int(c) }
+
+// CaseOf returns the Theorem 3 regime for multiplying with dims d on p
+// processors. At the exact thresholds P = m/n and P = mn/k² adjacent cases
+// coincide (the bound is continuous); CaseOf returns the lower-numbered
+// case there.
+func CaseOf(d Dims, p int) Case {
+	m, n, k := d.Sorted()
+	fp := float64(p)
+	if fp <= float64(m)/float64(n) {
+		return Case1
+	}
+	if fp <= float64(m)*float64(n)/(float64(k)*float64(k)) {
+		return Case2
+	}
+	return Case3
+}
+
+// Thresholds returns the two case boundaries (m/n, mn/k²) of Theorem 3.
+func Thresholds(d Dims) (oneToTwo, twoToThree float64) {
+	m, n, k := d.Sorted()
+	return float64(m) / float64(n), float64(m) * float64(n) / (float64(k) * float64(k))
+}
+
+// NewDims is a convenience constructor for Dims.
+func NewDims(n1, n2, n3 int) Dims { return Dims{N1: n1, N2: n2, N3: n3} }

@@ -1,0 +1,35 @@
+package core
+
+import "math"
+
+// This file carries the §2.3 context on fast matrix multiplication:
+// Ballard et al. 2012b, which introduced the memory-dependent vs
+// memory-independent distinction the paper builds on, also proved
+// memory-independent bounds for Strassen-like algorithms. For a
+// Strassen-like algorithm with exponent ω0 (classical: 3; Strassen:
+// log₂ 7 ≈ 2.807) on square n×n matrices, the per-processor
+// memory-independent bound has leading term Ω((n^{ω0}/P)^{2/ω0}) =
+// n²/P^{2/ω0}, asymptotic only — no tight constants are known in the fast
+// case, which is precisely the gap the paper closes for the classical one.
+
+// OmegaStrassen is log₂ 7, the exponent of Strassen's algorithm.
+var OmegaStrassen = math.Log2(7)
+
+// FastMatmulLeading returns the leading term n²/P^{2/ω0} of the
+// memory-independent communication lower bound for a Strassen-like
+// algorithm with exponent omega0 multiplying square n×n matrices on p
+// processors (Ballard et al. 2012b). No constant factor is attached: the
+// fast-matmul constants are open.
+func FastMatmulLeading(n, p int, omega0 float64) float64 {
+	fn := float64(n)
+	return fn * fn / math.Pow(float64(p), 2/omega0)
+}
+
+// ClassicalVsStrassenBoundRatio returns the ratio of the classical Case 3
+// leading term to the Strassen memory-independent leading term at p
+// processors: P^{2/log₂7 − 2/3} > 1 for p > 1. A Strassen-like algorithm
+// performs fewer multiplications, so its communication floor is lower and
+// falls faster with P.
+func ClassicalVsStrassenBoundRatio(p int) float64 {
+	return math.Pow(float64(p), 2/OmegaStrassen-2.0/3.0)
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFastMatmulLeadingClassicalRecoversCase3(t *testing.T) {
+	n, p := 1024, 64
+	want := LeadingTerm(Square(n), p)
+	got := FastMatmulLeading(n, p, 3)
+	if !approx(got, want, 1e-12) {
+		t.Fatalf("classical exponent: %v, want %v", got, want)
+	}
+}
+
+func TestStrassenBoundBelowClassical(t *testing.T) {
+	n := 4096
+	for _, p := range []int{8, 64, 512} {
+		classical := FastMatmulLeading(n, p, 3)
+		strassen := FastMatmulLeading(n, p, OmegaStrassen)
+		if strassen >= classical {
+			t.Errorf("P=%d: strassen bound %v not below classical %v", p, strassen, classical)
+		}
+		ratio := ClassicalVsStrassenBoundRatio(p)
+		if ratio <= 1 {
+			t.Errorf("P=%d: ratio %v should exceed 1", p, ratio)
+		}
+		if !approx(classical/strassen, ratio, 1e-9) {
+			t.Errorf("P=%d: ratio mismatch %v vs %v", p, classical/strassen, ratio)
+		}
+	}
+	// At P=1 both coincide with n².
+	if !approx(FastMatmulLeading(n, 1, OmegaStrassen), float64(n)*float64(n), 1e-12) {
+		t.Fatal("P=1 should give n²")
+	}
+}
+
+func TestOmegaStrassen(t *testing.T) {
+	if math.Abs(OmegaStrassen-2.807354922) > 1e-9 {
+		t.Fatalf("ω0 = %v", OmegaStrassen)
+	}
+}

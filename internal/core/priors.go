@@ -1,0 +1,91 @@
+package core
+
+import "math"
+
+// This file encodes the prior-work constants compared in the paper's
+// Table 1. Each prior bound is expressed as constant × leading term, where
+// the leading term is the case-appropriate expression of Theorem 3
+// (nk, (mnk²/P)^{1/2}, or (mnk/P)^{2/3}). A NaN constant means the work
+// proved no bound for that case.
+
+// PriorWork identifies a row of Table 1.
+type PriorWork int
+
+const (
+	// AggarwalChandraSnir1990 — "Communication complexity of PRAMs",
+	// LPRAM model; constant (1/2)^{2/3} ≈ 0.63 in Case 3 only.
+	AggarwalChandraSnir1990 PriorWork = iota
+	// IronyToledoTiskin2004 — "Communication lower bounds for
+	// distributed-memory matrix multiplication"; constant 1/2 in Case 3
+	// only (rectangular generalization, minimized over local memory).
+	IronyToledoTiskin2004
+	// DemmelEtAl2013 — "Communication-optimal parallel recursive
+	// rectangular matrix multiplication"; the first three-case result,
+	// constants 16/25, (2/3)^{1/2}, 1.
+	DemmelEtAl2013
+	// ThisPaper — Theorem 3, tight constants 1, 2, 3.
+	ThisPaper
+)
+
+// String returns the citation-style name of the row.
+func (w PriorWork) String() string {
+	switch w {
+	case AggarwalChandraSnir1990:
+		return "Aggarwal et al. (1990)"
+	case IronyToledoTiskin2004:
+		return "Irony et al. (2004)"
+	case DemmelEtAl2013:
+		return "Demmel et al. (2013)"
+	case ThisPaper:
+		return "Theorem 3 (this paper)"
+	}
+	return "unknown"
+}
+
+// AllWorks lists the Table 1 rows in the paper's order.
+func AllWorks() []PriorWork {
+	return []PriorWork{AggarwalChandraSnir1990, IronyToledoTiskin2004, DemmelEtAl2013, ThisPaper}
+}
+
+// Constant returns the leading-term constant that work w proved for the
+// given case, or NaN if the work established no bound in that case.
+func (w PriorWork) Constant(c Case) float64 {
+	switch w {
+	case AggarwalChandraSnir1990:
+		if c == Case3 {
+			return math.Pow(0.5, 2.0/3.0) // ≈ 0.63
+		}
+		return math.NaN()
+	case IronyToledoTiskin2004:
+		if c == Case3 {
+			return 0.5
+		}
+		return math.NaN()
+	case DemmelEtAl2013:
+		switch c {
+		case Case1:
+			return 16.0 / 25.0 // = 0.64
+		case Case2:
+			return math.Sqrt(2.0 / 3.0) // ≈ 0.82
+		default:
+			return 1
+		}
+	case ThisPaper:
+		return TightConstant(c)
+	}
+	return math.NaN()
+}
+
+// Bound evaluates work w's lower bound (constant × leading term of the
+// applicable case) on a concrete instance, or NaN where the work proved no
+// bound. Only the leading term is compared, as in Table 1.
+func (w PriorWork) Bound(d Dims, p int) float64 {
+	return w.Constant(CaseOf(d, p)) * LeadingTerm(d, p)
+}
+
+// ImprovementFactor returns the ratio of Theorem 3's constant to work w's
+// constant in the given case (NaN if w has no bound there). Values > 1
+// quantify how much the paper tightens each prior row.
+func ImprovementFactor(w PriorWork, c Case) float64 {
+	return ThisPaper.Constant(c) / w.Constant(c)
+}

@@ -1,0 +1,76 @@
+package core
+
+import "math"
+
+// D evaluates the paper's D — the minimum total data footprint
+// (|φ_A| + |φ_B| + |φ_C|) of a processor that performs a 1/P share of the
+// computation — which equals the optimum of Lemma 2:
+//
+//	Case 1: (mn + mk)/P + nk
+//	Case 2: 2·sqrt(mnk²/P) + mn/P
+//	Case 3: 3·(mnk/P)^{2/3}
+func D(d Dims, p int) float64 {
+	return Lemma2Closed(d, p).Sum()
+}
+
+// LowerBound returns Theorem 3's memory-independent communication lower
+// bound in words: D − (mn + mk + nk)/P. Any parallel algorithm on P
+// processors that starts with one copy of the inputs, ends with one copy of
+// the output, and load-balances either the computation or the data must
+// move at least this many words along its critical path.
+func LowerBound(d Dims, p int) float64 {
+	return D(d, p) - d.InputOutputWords()/float64(p)
+}
+
+// LeadingTerm returns the leading-order term of the bound in the regime of
+// (d, p) — the quantity whose constants Table 1 compares:
+//
+//	Case 1: nk,  Case 2: (mnk²/P)^{1/2},  Case 3: (mnk/P)^{2/3}.
+func LeadingTerm(d Dims, p int) float64 {
+	m, n, k := d.Sorted()
+	fm, fn, fk, fp := float64(m), float64(n), float64(k), float64(p)
+	switch CaseOf(d, p) {
+	case Case1:
+		return fn * fk
+	case Case2:
+		return math.Sqrt(fm * fn * fk * fk / fp)
+	default:
+		return math.Pow(fm*fn*fk/fp, 2.0/3.0)
+	}
+}
+
+// TightConstant returns the constant of the leading term proved tight by
+// Theorem 3 together with the §5 algorithm: 1, 2, or 3 by case.
+func TightConstant(c Case) float64 { return float64(c) }
+
+// Corollary4 returns the square-matrix specialization of Theorem 3: for
+// n×n matrices, at least 3n²/P^{2/3} − 3n²/P words must be communicated.
+// (For P ≥ 1 square multiplication always falls in Case 3 because
+// mn/k² = 1.)
+func Corollary4(n, p int) float64 {
+	fn, fp := float64(n), float64(p)
+	return 3*fn*fn/math.Pow(fp, 2.0/3.0) - 3*fn*fn/fp
+}
+
+// AttainableCost returns the communication cost of the optimal Algorithm 1
+// with the best processor grid, which by §5.2 matches LowerBound exactly in
+// every case (when the grid divides the dimensions):
+//
+//	Case 1: (1 − 1/P)·nk
+//	Case 2: 2·sqrt(mnk²/P) − (mk + nk)/P
+//	Case 3: 3·(mnk/P)^{2/3} − (mn + mk + nk)/P
+//
+// These are algebraically identical to LowerBound; the function exists so
+// experiments can report "bound" and "attained" from independent formulas.
+func AttainableCost(d Dims, p int) float64 {
+	m, n, k := d.Sorted()
+	fm, fn, fk, fp := float64(m), float64(n), float64(k), float64(p)
+	switch CaseOf(d, p) {
+	case Case1:
+		return (1 - 1/fp) * fn * fk
+	case Case2:
+		return 2*math.Sqrt(fm*fn*fk*fk/fp) - (fm*fk+fn*fk)/fp
+	default:
+		return 3*math.Pow(fm*fn*fk/fp, 2.0/3.0) - (fm*fn+fm*fk+fn*fk)/fp
+	}
+}

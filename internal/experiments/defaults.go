@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// Default parameters for the experiment suite. The paper's Figure 2 uses a
+// 9600×2400×600 multiplication; the simulation-backed experiments use the
+// same aspect ratios scaled down (768×192×48 keeps the case thresholds
+// m/n = 4 and mn/k² = 64 and divides evenly under every §5.2 grid used) so
+// that a full run takes seconds while volumes remain exact.
+var (
+	// PaperRectDims is the exact Figure 2 shape, used by the pure-math
+	// experiments.
+	PaperRectDims = core.NewDims(9600, 2400, 600)
+	// DefaultRectDims is the scaled shape used by simulation experiments.
+	DefaultRectDims = core.NewDims(768, 192, 48)
+	// DefaultRuntimeConfig is a machine where a flop costs 1/16 of a word
+	// transfer, putting the comm-bound transition (P* = (γ/3β)³·mnk = 64)
+	// inside the default sweep.
+	DefaultRuntimeConfig = machine.Config{Alpha: 2, Beta: 1, Gamma: 1.0 / 16}
+)
+
+const (
+	// DefaultFig1N is the square dimension for the Figure 1 reproduction
+	// on a 3×3×3 grid (blocks of 36 words divide the fiber size 3).
+	DefaultFig1N = 18
+	// DefaultSquareN is the square dimension for the §6.2 memory
+	// analysis.
+	DefaultSquareN = 1200
+	// DefaultMemoryWords is the per-processor memory for the §6.2
+	// crossover experiment (enough for modest P, scarce at large P).
+	DefaultMemoryWords = 67500.0
+	// DefaultCompareN and DefaultCompareP parameterize the algorithm
+	// comparison: P = 64 admits every baseline (8×8 2D grids, 4×4×4 3D
+	// grid, 2.5D with c ∈ {1, 4}).
+	DefaultCompareN = 64
+	DefaultCompareP = 64
+)

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/extension"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+// Extension runs the §6.3 generalization one dimension up: the d = 4
+// cuboid computation (three input arrays, one output, each omitting one
+// index) with the generalized water-filling bound, verifying that the
+// simulated All-Gather/Reduce-Scatter algorithm attains it on the optimal
+// grid and that the KKT certificates hold, exactly as for matmul.
+func Extension() (Artifact, error) {
+	pr, err := extension.NewProblem(16, 16, 16, 16)
+	if err != nil {
+		return Artifact{}, err
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("d = 4 cuboid computation, dims %v (generalized Theorem 3)", pr.N),
+		"P", "free vars (case analog)", "grid", "measured words/proc", "bound", "ratio", "KKT residual",
+	)
+	for _, p := range []int{1, 4, 16, 256} {
+		g := extension.Optimal(pr, p)
+		res, err := extension.Run(pr, g, 21, machine.BandwidthOnly())
+		if err != nil {
+			return Artifact{}, fmt.Errorf("extension P=%d: %w", p, err)
+		}
+		_, free := pr.DataFootprint(p)
+		bound := pr.LowerBound(p)
+		ratio := 1.0
+		if bound > 0 {
+			ratio = res.Stats.CommCost() / bound
+		}
+		tb.AddRow(
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%d/4", free),
+			g.String(),
+			report.Num(res.Stats.CommCost()),
+			report.Num(bound),
+			fmt.Sprintf("%.6f", ratio),
+			fmt.Sprintf("%.2e", pr.KKTCertificate(p)),
+		)
+	}
+	note := "\nThe d = 3 instance of this machinery reproduces Theorem 3 exactly (tested in internal/extension).\n"
+	return Artifact{
+		ID:    "E11-extension",
+		Title: "§6.3: the technique generalized to 4-dimensional iteration spaces",
+		Text:  tb.String() + note,
+		CSV:   tb.CSV(),
+	}, nil
+}

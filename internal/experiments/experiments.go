@@ -1,0 +1,88 @@
+// Package experiments regenerates every evaluation artifact of the paper —
+// Table 1, the Lemma 2 case structure, the Theorem 3 bound curves, Figure 1
+// (Algorithm 1's per-collective data movement), Figure 2 (optimal grids),
+// the §5.2 exact-tightness check, the baseline-algorithm comparison, and
+// the §6.2 limited-memory analysis — as self-contained functions returning
+// renderable artifacts plus structured data that tests and benchmarks
+// assert on. The cmd/paper binary and the repository-level benchmarks are
+// thin wrappers around this package.
+package experiments
+
+import "fmt"
+
+// Artifact is one regenerated table or figure.
+type Artifact struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E1-table1").
+	ID string
+	// Title describes the paper artifact being reproduced.
+	Title string
+	// Text is the rendered terminal output (table or ASCII chart).
+	Text string
+	// CSV is an optional machine-readable rendition.
+	CSV string
+}
+
+// String renders the artifact with its header.
+func (a Artifact) String() string {
+	return fmt.Sprintf("== %s: %s ==\n%s", a.ID, a.Title, a.Text)
+}
+
+// All runs every experiment at its default (paper) parameters and returns
+// the artifacts in paper order. Simulation-backed experiments use the
+// scaled dimensions documented in DESIGN.md so the whole suite runs in
+// seconds.
+func All() ([]Artifact, error) {
+	out := []Artifact{
+		Table1(),
+		Lemma2Cases(DefaultRectDims),
+		BoundCurves(DefaultRectDims, 1<<20),
+		Figure2(),
+		LimitedMemory(DefaultSquareN, DefaultMemoryWords),
+	}
+	fig1, err := Figure1(DefaultFig1N, 27)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fig1)
+	tight, err := Tightness()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, tight)
+	algs, err := AlgorithmComparison(DefaultCompareN, DefaultCompareP)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, algs)
+	geo, err := Geometry()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, geo, CARMAComparison())
+	ext, err := Extension()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ext)
+	rt, err := RuntimeModel(DefaultRectDims, DefaultRuntimeConfig, []int{1, 4, 16, 64, 512})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, rt)
+	fmm, err := FastMatmul(4096, []int{1, 8, 64, 512, 4096})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fmm, ModelRobustness())
+	cp, err := CAPSExperiment(56)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, cp)
+	mt, err := MemoryTradeoff(DefaultRectDims, 512)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, mt)
+	return out, nil
+}

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTable1ContainsPaperConstants(t *testing.T) {
+	a := Table1()
+	for _, want := range []string{
+		"Aggarwal", "Irony", "Demmel", "Theorem 3",
+		"0.64", "0.8165", "0.63", "0.5", // prior constants
+	} {
+		if !strings.Contains(a.Text, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, a.Text)
+		}
+	}
+	// The Theorem 3 row ends in constants 1 2 3.
+	for _, line := range strings.Split(a.Text, "\n") {
+		if strings.HasPrefix(line, "Theorem 3") && strings.Contains(line, "this paper") {
+			fields := strings.Fields(line)
+			n := len(fields)
+			if n < 3 || fields[n-3] != "1" || fields[n-2] != "2" || fields[n-1] != "3" {
+				t.Errorf("Theorem 3 row wrong: %q", line)
+			}
+		}
+	}
+	if a.CSV == "" || a.ID != "E1-table1" {
+		t.Error("artifact metadata missing")
+	}
+}
+
+func TestTable1Numeric(t *testing.T) {
+	a := Table1Numeric(PaperRectDims, []int{3, 36, 512})
+	if !strings.Contains(a.Text, "Case 1 (1D)") ||
+		!strings.Contains(a.Text, "Case 2 (2D)") ||
+		!strings.Contains(a.Text, "Case 3 (3D)") {
+		t.Fatalf("numeric table missing cases:\n%s", a.Text)
+	}
+	// In Case 1 the prior 3D-only bounds have no value.
+	lines := strings.Split(a.Text, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "3 ") && strings.Contains(l, "Case 1") {
+			if !strings.Contains(l, "-") {
+				t.Errorf("Case 1 row should contain '-' for missing bounds: %q", l)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("P=3 row missing:\n%s", a.Text)
+	}
+}
+
+func TestLemma2CasesCoversAllThree(t *testing.T) {
+	a := Lemma2Cases(DefaultRectDims)
+	for _, want := range []string{"Case 1 (1D)", "Case 2 (2D)", "Case 3 (3D)"} {
+		if !strings.Contains(a.Text, want) {
+			t.Errorf("Lemma 2 sweep missing %q:\n%s", want, a.Text)
+		}
+	}
+	// All KKT residuals rendered are small: no residual of magnitude ≥ 1
+	// (which would print as a nonzero mantissa with an e+ exponent).
+	if regexp.MustCompile(`[1-9]\.[0-9]{2}e\+`).MatchString(a.Text) {
+		t.Errorf("large KKT residual in output:\n%s", a.Text)
+	}
+}
+
+func TestBoundCurves(t *testing.T) {
+	a := BoundCurves(DefaultRectDims, 1<<16)
+	if !strings.Contains(a.Text, "Theorem 3 (D)") || !strings.Contains(a.Text, "Demmel") {
+		t.Fatalf("curve legend missing:\n%s", a.Text)
+	}
+	if !strings.Contains(a.Text, "m/n") || !strings.Contains(a.Text, "mn/k²") {
+		t.Fatalf("continuity table missing:\n%s", a.Text)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	a, err := Figure1(DefaultFig1N, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Text, "3x3x3") {
+		t.Fatalf("grid missing:\n%s", a.Text)
+	}
+	// The paper's highlighted processor (1,3,1).
+	if !strings.Contains(a.Text, "(1,3,1)") {
+		t.Fatalf("highlighted processor missing:\n%s", a.Text)
+	}
+	// Per-collective cost (1-1/3)·36 = 24 for n=18.
+	if !strings.Contains(a.Text, "24") {
+		t.Fatalf("collective cost missing:\n%s", a.Text)
+	}
+}
+
+func TestFigure1RejectsBadGrid(t *testing.T) {
+	if _, err := Figure1(10, 27); err == nil {
+		t.Fatal("expected error: 3 does not divide 10")
+	}
+}
+
+func TestFigure2GridsAndCosts(t *testing.T) {
+	a := Figure2()
+	for _, want := range []string{
+		"3x1x1", "12x3x1", "32x8x2", // the paper's grids
+		"3200x2400x600", "800x800x600", "300x300x300", // the paper's local bricks
+	} {
+		if !strings.Contains(a.Text, want) {
+			t.Errorf("Figure 2 missing %q:\n%s", want, a.Text)
+		}
+	}
+	// §5.3 observations about which matrices move.
+	lines := strings.Split(a.Text, "\n")
+	for _, l := range lines {
+		switch {
+		case strings.Contains(l, "3x1x1"):
+			if !strings.Contains(l, "B") || strings.Contains(l, "A ") {
+				t.Errorf("1D row should move only B: %q", l)
+			}
+		case strings.Contains(l, "32x8x2"):
+			if !strings.Contains(l, "A B C") {
+				t.Errorf("3D row should move all: %q", l)
+			}
+		}
+	}
+}
+
+func TestTightnessRatiosAreOne(t *testing.T) {
+	a, err := Tightness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every P > 1 row reports measured/bound = 1.000000.
+	count := strings.Count(a.Text, "1.000000")
+	if count < len(TightnessPoints)-1 {
+		t.Fatalf("expected ≥ %d exact rows, got %d:\n%s", len(TightnessPoints)-1, count, a.Text)
+	}
+	if strings.Contains(a.Text, "false") {
+		t.Fatalf("correctness failure in tightness:\n%s", a.Text)
+	}
+}
+
+func TestAlgorithmComparison(t *testing.T) {
+	a, err := AlgorithmComparison(DefaultCompareN, DefaultCompareP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Alg1", "AllToAll3D", "OneD", "SUMMA", "Cannon", "TwoPointFiveD"} {
+		if !strings.Contains(a.Text, name) {
+			t.Errorf("comparison missing %s:\n%s", name, a.Text)
+		}
+	}
+	// Alg1 should be at ratio 1.000 (the 4x4x4 grid divides 48 evenly).
+	for _, l := range strings.Split(a.Text, "\n") {
+		if strings.HasPrefix(l, "Alg1 ") {
+			if !strings.Contains(l, "1.000") {
+				t.Errorf("Alg1 not at the bound: %q", l)
+			}
+		}
+		if strings.HasPrefix(l, "OneD") {
+			// 1D on a square Case 3 problem is far off the bound.
+			if strings.Contains(l, "1.000") {
+				t.Errorf("OneD unexpectedly at the bound: %q", l)
+			}
+		}
+	}
+}
+
+func TestStrongScaling(t *testing.T) {
+	a, err := StrongScaling(core.NewDims(64, 32, 16), []int{1, 2, 4, 8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Text, "Case 1") && !strings.Contains(a.Text, "Case 2") {
+		t.Fatalf("scaling sweep missing early cases:\n%s", a.Text)
+	}
+}
+
+func TestLimitedMemoryShowsCrossover(t *testing.T) {
+	a := LimitedMemory(DefaultSquareN, DefaultMemoryWords)
+	if !strings.Contains(a.Text, "memory-dependent") || !strings.Contains(a.Text, "memory-independent") {
+		t.Fatalf("binding column broken:\n%s", a.Text)
+	}
+	if !strings.Contains(a.Text, "Perfect strong scaling") {
+		t.Fatalf("strong-scaling note missing:\n%s", a.Text)
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	arts, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 16 {
+		t.Fatalf("All returned %d artifacts", len(arts))
+	}
+	seen := map[string]bool{}
+	for _, a := range arts {
+		if a.ID == "" || a.Text == "" {
+			t.Errorf("artifact %q incomplete", a.ID)
+		}
+		if seen[a.ID] {
+			t.Errorf("duplicate artifact %q", a.ID)
+		}
+		seen[a.ID] = true
+		if !strings.Contains(a.String(), a.Title) {
+			t.Errorf("String() missing title for %q", a.ID)
+		}
+	}
+}
+
+func TestGeometryExperiment(t *testing.T) {
+	a, err := Geometry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimal brick rows sit exactly at the bound.
+	if strings.Count(a.Text, "1.000") < 4 {
+		t.Fatalf("expected 4 exact rows:\n%s", a.Text)
+	}
+	if !strings.Contains(a.Text, "random assignment") || !strings.Contains(a.Text, "misoriented") {
+		t.Fatalf("adversarial partitions missing:\n%s", a.Text)
+	}
+}
+
+func TestCARMAComparisonExperiment(t *testing.T) {
+	a := CARMAComparison()
+	if !strings.Contains(a.Text, "CARMA") {
+		t.Fatalf("missing content:\n%s", a.Text)
+	}
+	// At least one row where CARMA is exactly optimal (square, cube P)
+	// and the table runs across all cases.
+	if !strings.Contains(a.Text, "Case 3") {
+		t.Fatalf("cases missing:\n%s", a.Text)
+	}
+}
+
+func TestExtensionExperiment(t *testing.T) {
+	a, err := Extension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(a.Text, "1.000000") < 3 {
+		t.Fatalf("expected exact attainment rows:\n%s", a.Text)
+	}
+	if !strings.Contains(a.Text, "4/4") {
+		t.Fatalf("expected fully free regime at large P:\n%s", a.Text)
+	}
+}
+
+func TestRuntimeModelExperiment(t *testing.T) {
+	a, err := RuntimeModel(DefaultRectDims, DefaultRuntimeConfig, []int{1, 16, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relative model error column should be zero-ish on these dividing
+	// grids: no entry with a nonzero mantissa and a non-negative exponent.
+	if regexp.MustCompile(`[+-][1-9]\.[0-9]{2}e\+`).MatchString(a.Text) {
+		t.Fatalf("large model error:\n%s", a.Text)
+	}
+	if !strings.Contains(a.Text, "comm-bound") && !strings.Contains(a.Text, "communication-bound") {
+		t.Fatalf("threshold note missing:\n%s", a.Text)
+	}
+}
+
+func TestFastMatmulExperiment(t *testing.T) {
+	a, err := FastMatmul(4096, []int{1, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Text, "Strassen") {
+		t.Fatalf("missing content:\n%s", a.Text)
+	}
+}
+
+func TestModelRobustnessExperiment(t *testing.T) {
+	a := ModelRobustness()
+	if !strings.Contains(a.Text, "LPRAM") || !strings.Contains(a.Text, "supersteps") {
+		t.Fatalf("missing content:\n%s", a.Text)
+	}
+}
+
+func TestCAPSExperiment(t *testing.T) {
+	a, err := CAPSExperiment(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Text, "Strassen") || !strings.Contains(a.Text, "counting twin") {
+		t.Fatalf("missing content:\n%s", a.Text)
+	}
+}
+
+func TestMemoryTradeoffExperiment(t *testing.T) {
+	a, err := MemoryTradeoff(DefaultRectDims, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Text, "none — no grid") {
+		t.Fatalf("expected the feasibility cliff below D:\n%s", a.Text)
+	}
+	if !strings.Contains(a.Text, "2.5D replication sweep") || strings.Contains(a.Text, "false") {
+		t.Fatalf("trade-off sweep broken:\n%s", a.Text)
+	}
+}
+
+// TestSuiteDeterminism runs the entire experiment suite twice and demands
+// byte-identical artifacts: the simulator is deterministic (no wall clock,
+// no scheduling dependence), inputs are seeded, and every table renders
+// stably — the property that makes EXPERIMENTS.md's recorded numbers
+// reproducible.
+func TestSuiteDeterminism(t *testing.T) {
+	first, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("artifact counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].Text != second[i].Text || first[i].CSV != second[i].CSV {
+			t.Errorf("artifact %s not deterministic", first[i].ID)
+		}
+	}
+}

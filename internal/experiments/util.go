@@ -1,0 +1,6 @@
+package experiments
+
+import "math"
+
+func sqrt(v float64) float64  { return math.Sqrt(v) }
+func pow23(v float64) float64 { return math.Pow(v, 2.0/3.0) }

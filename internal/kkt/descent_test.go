@@ -1,0 +1,56 @@
+package kkt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveDescentMatchesAnalytic(t *testing.T) {
+	instances := []ProductMin{
+		{L: 100, Lower: Vector{1, 1, 1}},
+		{L: 100, Lower: Vector{1, 2, 30}},
+		{L: 64, Lower: Vector{0.5, 6, 7}},
+		{L: 1000, Lower: Vector{9, 9.5, 10}},
+		{L: 5, Lower: Vector{0.1, 0.2, 0.3}},
+		{L: 1e6, Lower: Vector{1, 1, 1, 1}},    // d = 4
+		{L: 1e4, Lower: Vector{1, 2, 3, 4, 5}}, // d = 5
+		{L: 12, Lower: Vector{100, 100, 100}},  // slack product
+	}
+	for _, p := range instances {
+		x, _ := p.Solve()
+		y := p.SolveDescent(20000, 0.05)
+		if math.Abs(x.Sum()-y.Sum()) > 1e-4*(1+x.Sum()) {
+			t.Errorf("L=%v lower=%v: analytic sum %v, descent sum %v (%v)", p.L, p.Lower, x.Sum(), y.Sum(), y)
+		}
+		// Descent result must be feasible.
+		if y.Prod() < p.L*(1-1e-9) && p.L > p.Lower.Prod() {
+			t.Errorf("descent infeasible: prod %v < L %v", y.Prod(), p.L)
+		}
+		for i := range y {
+			if y[i] < p.Lower[i]*(1-1e-9) {
+				t.Errorf("descent violates bound %d: %v < %v", i, y[i], p.Lower[i])
+			}
+		}
+	}
+}
+
+func TestSolveDescentNeverBeatsAnalytic(t *testing.T) {
+	// If descent ever found a strictly better feasible point, the
+	// analytic optimum (certified by KKT) would be wrong.
+	f := func(lRaw, aRaw, bRaw, cRaw uint16) bool {
+		l := float64(lRaw)/50 + 0.1
+		lower := Vector{
+			float64(aRaw)/2000 + 0.05,
+			float64(bRaw)/2000 + 0.05,
+			float64(cRaw)/2000 + 0.05,
+		}
+		p := ProductMin{L: l, Lower: lower}
+		x, _ := p.Solve()
+		y := p.SolveDescent(3000, 0.05)
+		return y.Sum() >= x.Sum()-1e-6*(1+x.Sum())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package lattice
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzPartitionRespectsBound fuzzes random work partitions of small
+// iteration spaces and checks the empirical Theorem 3 inequality: any
+// 1/P-loaded processor's projection sum is at least the Lemma 2 optimum,
+// and the Loomis-Whitney / Lemma 1 invariants hold for every part.
+// (Runs its seed corpus under plain `go test`; use `go test -fuzz` to
+// explore.)
+func FuzzPartitionRespectsBound(f *testing.F) {
+	f.Add(uint8(4), uint8(3), uint8(2), uint8(3), uint64(1))
+	f.Add(uint8(8), uint8(6), uint8(4), uint8(5), uint64(7))
+	f.Add(uint8(2), uint8(2), uint8(2), uint8(8), uint64(42))
+	f.Fuzz(func(t *testing.T, n1Raw, n2Raw, n3Raw, pRaw uint8, seed uint64) {
+		n1 := int(n1Raw%8) + 1
+		n2 := int(n2Raw%8) + 1
+		n3 := int(n3Raw%8) + 1
+		p := int(pRaw%8) + 1
+		pt := RandomPartition(n1, n2, n3, p, seed)
+		if err := pt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := pt.CheckLowerBoundInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		sum, loaded := pt.MaxLoadedProjectionSum()
+		if !loaded {
+			return
+		}
+		if d := core.D(core.NewDims(n1, n2, n3), p); float64(sum) < d-1e-9 {
+			t.Fatalf("partition of %dx%dx%d on %d procs: projection sum %d below D = %v",
+				n1, n2, n3, p, sum, d)
+		}
+	})
+}
+
+// FuzzBrickProjections fuzzes brick shapes against the exact projection
+// formulas.
+func FuzzBrickProjections(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint8(4))
+	f.Add(uint8(1), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, aRaw, bRaw, cRaw uint8) {
+		a := int(aRaw%9) + 1
+		b := int(bRaw%9) + 1
+		c := int(cRaw%9) + 1
+		br := Brick(0, a, 0, b, 0, c)
+		pa, pb, pc := br.Projections()
+		if pa != a*b || pb != b*c || pc != a*c {
+			t.Fatalf("brick %dx%dx%d projections %d %d %d", a, b, c, pa, pb, pc)
+		}
+		if br.Len() != a*b*c || !br.LoomisWhitneyHolds() {
+			t.Fatal("brick size or LW wrong")
+		}
+	})
+}

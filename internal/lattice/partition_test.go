@@ -1,0 +1,143 @@
+package lattice
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBrickPartitionValidates(t *testing.T) {
+	pt := BrickPartition(6, 5, 4, 2, 3, 2)
+	if pt.P() != 12 {
+		t.Fatalf("P = %d", pt.P())
+	}
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.CheckLowerBoundInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomPartitionValidates(t *testing.T) {
+	pt := RandomPartition(5, 5, 5, 4, 99)
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.CheckLowerBoundInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	// Overlapping parts.
+	pt := &Partition{N1: 2, N2: 1, N3: 1, Parts: []*Set{NewSet(), NewSet()}}
+	pt.Parts[0].Add(Point{0, 0, 0})
+	pt.Parts[1].Add(Point{0, 0, 0})
+	if err := pt.Validate(); err == nil {
+		t.Fatal("expected duplicate-point error")
+	}
+	// Incomplete cover.
+	pt2 := &Partition{N1: 2, N2: 1, N3: 1, Parts: []*Set{NewSet()}}
+	pt2.Parts[0].Add(Point{0, 0, 0})
+	if err := pt2.Validate(); err == nil {
+		t.Fatal("expected coverage error")
+	}
+	// Out-of-range point.
+	pt3 := &Partition{N1: 1, N2: 1, N3: 1, Parts: []*Set{NewSet()}}
+	pt3.Parts[0].Add(Point{5, 0, 0})
+	if err := pt3.Validate(); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+// TestBrickPartitionAttainsD is the geometric tightness statement: with
+// the §5.2 optimal grid, the loaded projection sum of Algorithm 1's brick
+// partition equals the Lemma 2 optimum D exactly, in all three cases.
+func TestBrickPartitionAttainsD(t *testing.T) {
+	d := core.NewDims(32, 8, 2) // thresholds m/n = 4, mn/k² = 64
+	grids := []struct {
+		p          int
+		g1, g2, g3 int
+	}{
+		{4, 4, 1, 1},    // Case 1 (boundary)
+		{16, 8, 2, 1},   // Case 2
+		{64, 16, 4, 1},  // Case 2/3 boundary
+		{512, 32, 8, 2}, // Case 3 (unit bricks)
+	}
+	for _, c := range grids {
+		pt := BrickPartition(d.N1, d.N2, d.N3, c.g1, c.g2, c.g3)
+		sum, ok := pt.MaxLoadedProjectionSum()
+		if !ok {
+			t.Fatalf("P=%d: no loaded processor", c.p)
+		}
+		want := core.D(d, c.p)
+		if float64(sum) != want {
+			t.Errorf("P=%d grid %dx%dx%d: projection sum %d, D = %v",
+				c.p, c.g1, c.g2, c.g3, sum, want)
+		}
+	}
+}
+
+// TestAnyPartitionRespectsD samples partitions of several shapes and
+// checks the Theorem 3 inequality max projection sum ≥ D on each — the
+// empirical form of the main theorem.
+func TestAnyPartitionRespectsD(t *testing.T) {
+	d := core.NewDims(8, 6, 4)
+	for p := 1; p <= 8; p++ {
+		// Random partitions.
+		for seed := uint64(0); seed < 5; seed++ {
+			pt := RandomPartition(d.N1, d.N2, d.N3, p, seed)
+			sum, ok := pt.MaxLoadedProjectionSum()
+			if !ok {
+				continue // no processor met the 1/P share; theorem silent
+			}
+			if float64(sum) < core.D(d, p)-1e-9 {
+				t.Errorf("P=%d seed=%d: projection sum %d below D = %v", p, seed, sum, core.D(d, p))
+			}
+		}
+		// Deliberately bad brick grids (wrong orientation) still respect D.
+		pt := BrickPartition(d.N1, d.N2, d.N3, 1, 1, p)
+		if p <= d.N3 {
+			sum, ok := pt.MaxLoadedProjectionSum()
+			if ok && float64(sum) < core.D(d, p)-1e-9 {
+				t.Errorf("P=%d misoriented grid: projection sum %d below D = %v", p, sum, core.D(d, p))
+			}
+		}
+	}
+}
+
+// TestRandomPartitionWorseThanBricks quantifies why grids matter: a random
+// balanced assignment has a far larger data footprint than the brick
+// partition on the same problem.
+func TestRandomPartitionWorseThanBricks(t *testing.T) {
+	n, p := 8, 8
+	brick := BrickPartition(n, n, n, 2, 2, 2)
+	random := RandomPartition(n, n, n, p, 1)
+	bs, _ := brick.MaxLoadedProjectionSum()
+	rs, ok := random.MaxLoadedProjectionSum()
+	if !ok {
+		t.Skip("random partition happened to be unbalanced")
+	}
+	if rs <= bs {
+		t.Errorf("random projection sum %d not worse than brick %d", rs, bs)
+	}
+}
+
+func TestBrickPartitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BrickPartition(4, 4, 4, 0, 1, 1)
+}
+
+func TestRandomPartitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RandomPartition(4, 4, 4, 0, 1)
+}

@@ -1,0 +1,242 @@
+// Package machine implements the distributed-memory parallel machine model
+// of the paper's §3.1 (the α-β-γ model) as a deterministic simulator.
+//
+// A World holds P ranks (processors), each with its own local memory and a
+// simulated clock. Ranks run as goroutines executing the same SPMD body.
+// Point-to-point messages over the fully connected network cost
+// α + β·w for a message of w words, charged to the sender (link occupancy)
+// and realized at the receiver no earlier than the send completes; local
+// computation costs γ per flop. Because each pair of processors has a
+// dedicated bidirectional link, there is no contention: simultaneous
+// messages between different pairs overlap freely, which the per-rank
+// clocks model naturally.
+//
+// The communication cost of an algorithm is counted along its critical
+// path — the maximum final clock over ranks — exactly the quantity the
+// paper's lower bounds constrain. The simulator additionally tracks, per
+// rank, words sent and received (total and per named phase), message
+// counts, flops, and a peak-memory watermark, so experiments can compare
+// measured volumes against Theorem 3 word-for-word.
+//
+// The simulator is deterministic: matching is FIFO per (source,
+// destination, tag), clocks are pure functions of the communication
+// pattern, and no wall-clock time leaks into results.
+package machine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Config sets the machine cost parameters of the α-β-γ model.
+type Config struct {
+	// Alpha is the per-message latency cost.
+	Alpha float64
+	// Beta is the per-word bandwidth cost.
+	Beta float64
+	// Gamma is the per-flop computation cost.
+	Gamma float64
+}
+
+// BandwidthOnly returns a Config that charges 1 per word and nothing for
+// latency or computation, so a rank's final clock reads directly in words —
+// convenient when comparing against bandwidth lower bounds.
+func BandwidthOnly() Config { return Config{Alpha: 0, Beta: 1, Gamma: 0} }
+
+// message is one in-flight point-to-point message.
+type message struct {
+	src, dst int
+	tag      int
+	data     []float64
+	// sendClock is the sender's simulated time when the send was posted;
+	// the message is available at the receiver at sendClock + α + β·w.
+	sendClock float64
+}
+
+// World is a simulated machine of P ranks.
+type World struct {
+	p   int
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[pairKey][]*message
+	inflight int
+	blocked  int
+	done     int
+	failed   bool
+	failMsg  string
+
+	// barrier state (generation-counted reusable barrier). barClock
+	// accumulates the max clock of the generation in progress; barRelease
+	// holds the released clock of the generation that last completed. A
+	// completed generation's release value cannot be overwritten until
+	// every rank has left the barrier, because the next generation needs
+	// all P arrivals to complete.
+	barArrived int
+	barGen     int
+	barClock   float64
+	barRelease float64
+
+	trace   *Trace
+	traffic *TrafficMatrix
+
+	ranks []*Rank
+}
+
+type pairKey struct{ src, dst int }
+
+// NewWorld creates a machine with p ranks and the given cost model.
+func NewWorld(p int, cfg Config) *World {
+	if p <= 0 {
+		panic(fmt.Sprintf("machine: world size %d", p))
+	}
+	w := &World{
+		p:      p,
+		cfg:    cfg,
+		queues: make(map[pairKey][]*message),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.ranks = make([]*Rank, p)
+	for i := range w.ranks {
+		w.ranks[i] = &Rank{id: i, world: w, stats: RankStats{PhaseRecvWords: map[string]float64{}, PhaseSentWords: map[string]float64{}}}
+	}
+	return w
+}
+
+// P returns the number of ranks.
+func (w *World) P() int { return w.p }
+
+// Config returns the cost model.
+func (w *World) Config() Config { return w.cfg }
+
+// Run executes body on every rank concurrently and blocks until all ranks
+// return. It returns an error if any rank panicked (including simulator-
+// detected deadlocks). A World can be Run only once; create a fresh World
+// per experiment.
+func (w *World) Run(body func(*Rank)) (err error) {
+	var wg sync.WaitGroup
+	errs := make([]error, w.p)
+	for i := 0; i < w.p; i++ {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[r.id] = fmt.Errorf("rank %d: %v", r.id, rec)
+					w.fail(fmt.Sprintf("rank %d panicked: %v", r.id, rec))
+					return
+				}
+				// A rank that returns while peers still wait for its
+				// messages leaves them stuck: fold completion into the
+				// deadlock check.
+				w.mu.Lock()
+				w.done++
+				if w.deadlockedLocked() {
+					w.failed = true
+					w.failMsg = fmt.Sprintf("deadlock: %d ranks finished, the rest blocked with no messages in flight", w.done)
+				}
+				w.mu.Unlock()
+				w.cond.Broadcast()
+			}()
+			body(r)
+		}(w.ranks[i])
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// fail marks the world failed and wakes all blocked ranks so they can abort
+// instead of waiting forever for messages that will never arrive.
+func (w *World) fail(msg string) {
+	w.mu.Lock()
+	if !w.failed {
+		w.failed = true
+		w.failMsg = msg
+	}
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// send enqueues a message (eager, non-blocking delivery).
+func (w *World) send(m *message) {
+	w.mu.Lock()
+	key := pairKey{m.src, m.dst}
+	w.queues[key] = append(w.queues[key], m)
+	w.inflight++
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// recv blocks until a message from src to dst with the given tag is
+// available and returns it, preserving FIFO order among same-tag messages.
+func (w *World) recv(dst, src, tag int) *message {
+	key := pairKey{src, dst}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.failed {
+			panic("machine: aborted: " + w.failMsg)
+		}
+		q := w.queues[key]
+		for i, m := range q {
+			if m.tag == tag {
+				w.queues[key] = append(q[:i:i], q[i+1:]...)
+				w.inflight--
+				return m
+			}
+		}
+		w.blocked++
+		if w.deadlockedLocked() {
+			w.failed = true
+			w.failMsg = fmt.Sprintf("deadlock: all %d ranks blocked (%d in Recv, %d in Barrier) with no messages in flight", w.p, w.blocked, w.barArrived)
+			w.blocked--
+			w.cond.Broadcast()
+			panic("machine: " + w.failMsg)
+		}
+		w.cond.Wait()
+		w.blocked--
+	}
+}
+
+// deadlockedLocked reports (with w.mu held) whether the simulation can make
+// no further progress: every rank is blocked (in Recv or in Barrier) or has
+// already returned, with no messages in flight and at least one rank
+// waiting for a message. (If every unfinished rank were in the Barrier it
+// would release normally; a Barrier waiter with some ranks finished can
+// never be released and is also caught here once a Recv waiter exists —
+// all-Barrier-plus-done configurations abort via the barrier path's own
+// generation check never firing, which this predicate does not cover, so
+// algorithms must not mix Barrier with early rank exit.)
+func (w *World) deadlockedLocked() bool {
+	return w.blocked > 0 && w.blocked+w.barArrived+w.done == w.p && w.inflight == 0
+}
+
+// Stats aggregates the per-rank statistics after Run has completed.
+func (w *World) Stats() WorldStats {
+	ws := WorldStats{Ranks: make([]RankStats, w.p)}
+	for i, r := range w.ranks {
+		ws.Ranks[i] = r.stats
+		ws.Ranks[i].FinalClock = r.clock
+		if r.clock > ws.CriticalPath {
+			ws.CriticalPath = r.clock
+		}
+		ws.TotalWordsSent += r.stats.WordsSent
+		ws.TotalMessages += r.stats.MsgsSent
+		if r.stats.WordsRecv > ws.MaxWordsRecv {
+			ws.MaxWordsRecv = r.stats.WordsRecv
+		}
+		if r.stats.WordsSent > ws.MaxWordsSent {
+			ws.MaxWordsSent = r.stats.WordsSent
+		}
+		if r.stats.PeakMemory > ws.MaxPeakMemory {
+			ws.MaxPeakMemory = r.stats.PeakMemory
+		}
+	}
+	return ws
+}

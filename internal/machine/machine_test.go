@@ -1,0 +1,345 @@
+package machine
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewWorldValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for P=0")
+		}
+	}()
+	NewWorld(0, BandwidthOnly())
+}
+
+func TestPingPongTimingAndStats(t *testing.T) {
+	cfg := Config{Alpha: 10, Beta: 2, Gamma: 0}
+	w := NewWorld(2, cfg)
+	err := w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 7, []float64{1, 2, 3}) // clock: 10 + 2*3 = 16
+			got := r.Recv(1, 8)              // arrives at 16+10+2 = 28
+			if len(got) != 1 || got[0] != 42 {
+				t.Errorf("reply = %v", got)
+			}
+		case 1:
+			msg := r.Recv(0, 7) // clock: max(0, 16) = 16
+			if len(msg) != 3 || msg[2] != 3 {
+				t.Errorf("msg = %v", msg)
+			}
+			r.Send(0, 8, []float64{42}) // clock: 16 + 10 + 2 = 28
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Stats()
+	if s.CriticalPath != 28 {
+		t.Errorf("critical path = %v, want 28", s.CriticalPath)
+	}
+	if s.Ranks[0].WordsSent != 3 || s.Ranks[0].WordsRecv != 1 {
+		t.Errorf("rank 0 words = %v sent %v recv", s.Ranks[0].WordsSent, s.Ranks[0].WordsRecv)
+	}
+	if s.Ranks[1].MsgsRecv != 1 || s.Ranks[1].MsgsSent != 1 {
+		t.Errorf("rank 1 msgs = %+v", s.Ranks[1])
+	}
+	if s.TotalWordsSent != 4 || s.TotalMessages != 2 {
+		t.Errorf("totals = %v words %v msgs", s.TotalWordsSent, s.TotalMessages)
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	w := NewWorld(2, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			buf := []float64{1}
+			r.Send(1, 0, buf)
+			buf[0] = 999 // must not affect the in-flight message
+		} else {
+			if got := r.Recv(0, 0); got[0] != 1 {
+				t.Errorf("received %v, want 1 (send must copy)", got[0])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	w := NewWorld(2, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 1, []float64{1})
+			r.Send(1, 2, []float64{2})
+		} else {
+			// Receive tag 2 first even though tag 1 was sent first.
+			if got := r.Recv(0, 2); got[0] != 2 {
+				t.Errorf("tag 2 payload = %v", got)
+			}
+			if got := r.Recv(0, 1); got[0] != 1 {
+				t.Errorf("tag 1 payload = %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOWithinTag(t *testing.T) {
+	w := NewWorld(2, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			for i := 0; i < 5; i++ {
+				r.Send(1, 3, []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				if got := r.Recv(0, 3); got[0] != float64(i) {
+					t.Errorf("message %d = %v", i, got[0])
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	w := NewWorld(1, Config{Gamma: 0.5})
+	err := w.Run(func(r *Rank) {
+		r.Compute(10)
+		if r.Clock() != 5 {
+			t.Errorf("clock = %v, want 5", r.Clock())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().Ranks[0].Flops != 10 {
+		t.Error("flops not recorded")
+	}
+}
+
+func TestBarrierAlignsClocks(t *testing.T) {
+	w := NewWorld(4, Config{Gamma: 1})
+	err := w.Run(func(r *Rank) {
+		r.Compute(float64(r.ID()) * 10) // clocks 0, 10, 20, 30
+		r.Barrier()
+		if r.Clock() != 30 {
+			t.Errorf("rank %d clock after barrier = %v, want 30", r.ID(), r.Clock())
+		}
+		// Barrier must be reusable with fresh state.
+		r.Compute(5)
+		r.Barrier()
+		if r.Clock() != 35 {
+			t.Errorf("rank %d clock after 2nd barrier = %v, want 35", r.ID(), r.Clock())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierManyIterationsStress(t *testing.T) {
+	w := NewWorld(8, Config{})
+	var count int64
+	err := w.Run(func(r *Rank) {
+		for i := 0; i < 200; i++ {
+			atomic.AddInt64(&count, 1)
+			r.Barrier()
+			// After the barrier every rank must observe all arrivals of
+			// this round.
+			if c := atomic.LoadInt64(&count); c < int64((i+1)*8) {
+				t.Errorf("barrier leaked: round %d count %d", i, c)
+			}
+			r.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetectionAllRecv(t *testing.T) {
+	w := NewWorld(3, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		r.Recv((r.ID()+1)%3, 0) // nobody ever sends
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestDeadlockDetectionRecvPlusBarrier(t *testing.T) {
+	w := NewWorld(2, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Recv(1, 0)
+		} else {
+			r.Barrier()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestRankPanicPropagatesAndUnblocksPeers(t *testing.T) {
+	w := NewWorld(2, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			panic("boom")
+		}
+		r.Recv(0, 0) // would block forever without failure propagation
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("expected panic propagation, got %v", err)
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	w := NewWorld(1, BandwidthOnly())
+	err := w.Run(func(r *Rank) { r.Send(0, 0, []float64{1}) })
+	if err == nil {
+		t.Fatal("expected error for self-send")
+	}
+}
+
+func TestInvalidPeerPanics(t *testing.T) {
+	w := NewWorld(2, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(5, 0, nil)
+		}
+	})
+	if err == nil {
+		t.Fatal("expected error for out-of-range destination")
+	}
+}
+
+func TestSendRecvExchangeOverlaps(t *testing.T) {
+	// Both ranks exchange w words simultaneously; with bidirectional links
+	// the critical path is α + β·w, not twice that.
+	cfg := Config{Alpha: 1, Beta: 1}
+	w := NewWorld(2, cfg)
+	data := make([]float64, 9)
+	err := w.Run(func(r *Rank) {
+		peer := 1 - r.ID()
+		r.SendRecv(peer, peer, 0, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().CriticalPath; got != 10 {
+		t.Errorf("exchange critical path = %v, want 10 (α+β·w)", got)
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	w := NewWorld(2, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		peer := 1 - r.ID()
+		r.SetPhase("warmup")
+		r.SendRecv(peer, peer, 0, make([]float64, 4))
+		r.SetPhase("main")
+		r.SendRecv(peer, peer, 1, make([]float64, 6))
+		r.SetPhase("")
+		r.SendRecv(peer, peer, 2, make([]float64, 5))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Stats()
+	if s.PhaseRecvTotal("warmup") != 8 || s.PhaseRecvTotal("main") != 12 {
+		t.Errorf("phase totals: warmup %v main %v", s.PhaseRecvTotal("warmup"), s.PhaseRecvTotal("main"))
+	}
+	if s.MaxPhaseRecv("main") != 6 {
+		t.Errorf("max phase recv = %v", s.MaxPhaseRecv("main"))
+	}
+	if s.Ranks[0].WordsRecv != 15 {
+		t.Errorf("unlabelled words missing: %v", s.Ranks[0].WordsRecv)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	w := NewWorld(1, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		r.GrowMemory(100)
+		r.GrowMemory(50)
+		if r.MemoryInUse() != 150 {
+			t.Errorf("in use = %v", r.MemoryInUse())
+		}
+		r.ShrinkMemory(120)
+		r.GrowMemory(10) // peak stays 150
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().MaxPeakMemory; got != 150 {
+		t.Errorf("peak = %v, want 150", got)
+	}
+}
+
+func TestNegativeMemoryPanics(t *testing.T) {
+	w := NewWorld(1, BandwidthOnly())
+	if err := w.Run(func(r *Rank) { r.ShrinkMemory(1) }); err == nil {
+		t.Fatal("expected error for negative memory accounting")
+	}
+}
+
+func TestDeterministicClocks(t *testing.T) {
+	run := func() float64 {
+		w := NewWorld(4, Config{Alpha: 3, Beta: 0.5, Gamma: 0.1})
+		err := w.Run(func(r *Rank) {
+			// Ring shift repeated: deterministic pattern.
+			for step := 0; step < 10; step++ {
+				next := (r.ID() + 1) % 4
+				prev := (r.ID() + 3) % 4
+				r.Send(next, step, make([]float64, 8))
+				r.Recv(prev, step)
+				r.Compute(100)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Stats().CriticalPath
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("nondeterministic critical path: %v vs %v", got, first)
+		}
+	}
+	if first <= 0 || math.IsNaN(first) {
+		t.Fatalf("critical path = %v", first)
+	}
+}
+
+func TestBandwidthOnlyReadsInWords(t *testing.T) {
+	w := NewWorld(2, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 0, make([]float64, 77))
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().CriticalPath; got != 77 {
+		t.Errorf("critical path = %v, want 77 words", got)
+	}
+	if got := w.Stats().CommCost(); got != 77 {
+		t.Errorf("CommCost = %v", got)
+	}
+}

@@ -1,0 +1,171 @@
+package machine
+
+import "fmt"
+
+// Rank is one simulated processor. All methods must be called only from the
+// goroutine executing this rank's SPMD body.
+type Rank struct {
+	id    int
+	world *World
+	clock float64
+	phase string
+	stats RankStats
+
+	curMemory float64
+}
+
+// ID returns the rank's index in [0, P).
+func (r *Rank) ID() int { return r.id }
+
+// P returns the world size.
+func (r *Rank) P() int { return r.world.p }
+
+// Clock returns the rank's current simulated time.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// SetPhase labels subsequent communication for per-phase accounting (e.g.
+// "allgather-A"). The empty string disables attribution.
+func (r *Rank) SetPhase(name string) { r.phase = name }
+
+// Send posts a message of data to rank dst with the given tag. Sends are
+// eager (non-blocking): the sender's clock advances by the link-occupancy
+// cost α + β·w and the message becomes available to the receiver at that
+// time. The data is copied, simulating serialization into the network.
+func (r *Rank) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= r.world.p {
+		panic(fmt.Sprintf("machine: send to rank %d of %d", dst, r.world.p))
+	}
+	if dst == r.id {
+		panic("machine: self-send; keep local data local")
+	}
+	w := float64(len(data))
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	start := r.clock
+	r.clock += r.world.cfg.Alpha + r.world.cfg.Beta*w
+	if t := r.world.trace; t != nil {
+		t.add(Event{Rank: r.id, Kind: EventSend, Peer: dst, Tag: tag, Words: w, Start: start, End: r.clock, Phase: r.phase})
+	}
+	if tm := r.world.traffic; tm != nil {
+		tm.add(r.id, dst, w)
+	}
+	r.stats.WordsSent += w
+	r.stats.MsgsSent++
+	if r.phase != "" {
+		r.stats.PhaseSentWords[r.phase] += w
+	}
+	r.world.send(&message{src: r.id, dst: dst, tag: tag, data: cp, sendClock: r.clock})
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. The receiver's clock advances to the message's
+// arrival time (send completion) if that is later than its current time.
+func (r *Rank) Recv(src, tag int) []float64 {
+	if src < 0 || src >= r.world.p {
+		panic(fmt.Sprintf("machine: recv from rank %d of %d", src, r.world.p))
+	}
+	if src == r.id {
+		panic("machine: self-recv")
+	}
+	start := r.clock
+	m := r.world.recv(r.id, src, tag)
+	if m.sendClock > r.clock {
+		r.clock = m.sendClock
+	}
+	w := float64(len(m.data))
+	if t := r.world.trace; t != nil {
+		t.add(Event{Rank: r.id, Kind: EventRecv, Peer: src, Tag: tag, Words: w, Start: start, End: r.clock, Phase: r.phase})
+	}
+	r.stats.WordsRecv += w
+	r.stats.MsgsRecv++
+	if r.phase != "" {
+		r.stats.PhaseRecvWords[r.phase] += w
+	}
+	return m.data
+}
+
+// SendRecv posts a send to dst and then receives from src, modelling the
+// simultaneous exchange permitted by the bidirectional links of §3.1.
+func (r *Rank) SendRecv(dst, src, tag int, data []float64) []float64 {
+	r.Send(dst, tag, data)
+	return r.Recv(src, tag)
+}
+
+// Compute advances the rank's clock by γ·flops and records the flop count.
+func (r *Rank) Compute(flops float64) {
+	if flops < 0 {
+		panic("machine: negative flops")
+	}
+	start := r.clock
+	r.clock += r.world.cfg.Gamma * flops
+	if t := r.world.trace; t != nil && flops > 0 {
+		t.add(Event{Rank: r.id, Kind: EventCompute, Peer: -1, Words: flops, Start: start, End: r.clock, Phase: r.phase})
+	}
+	r.stats.Flops += flops
+}
+
+// Barrier synchronizes all ranks of the world and aligns their clocks to
+// the maximum. It charges no communication cost: it is a measurement
+// device separating phases, not an algorithmic collective.
+func (r *Rank) Barrier() {
+	w := r.world
+	w.mu.Lock()
+	if r.clock > w.barClock {
+		w.barClock = r.clock
+	}
+	w.barArrived++
+	if w.barArrived == w.p {
+		// Last arrival releases the generation: publish the max clock and
+		// reset accumulation state for the next generation.
+		w.barRelease = w.barClock
+		w.barClock = 0
+		w.barArrived = 0
+		w.barGen++
+		r.clock = w.barRelease
+		w.mu.Unlock()
+		w.cond.Broadcast()
+		return
+	}
+	if w.deadlockedLocked() {
+		w.failed = true
+		w.failMsg = "deadlock: ranks split between Recv and Barrier with no messages in flight"
+		w.mu.Unlock()
+		w.cond.Broadcast()
+		panic("machine: " + w.failMsg)
+	}
+	gen := w.barGen
+	for w.barGen == gen && !w.failed {
+		w.cond.Wait()
+	}
+	if w.failed {
+		w.mu.Unlock()
+		panic("machine: aborted: " + w.failMsg)
+	}
+	r.clock = w.barRelease
+	w.mu.Unlock()
+}
+
+// GrowMemory records an allocation of the given number of words in the
+// rank's local memory, updating the peak watermark. Algorithms call it
+// (paired with ShrinkMemory) around their buffers so experiments can check
+// the §6.2 memory-footprint claims.
+func (r *Rank) GrowMemory(words float64) {
+	if words < 0 {
+		panic("machine: negative allocation")
+	}
+	r.curMemory += words
+	if r.curMemory > r.stats.PeakMemory {
+		r.stats.PeakMemory = r.curMemory
+	}
+}
+
+// ShrinkMemory records the release of words of local memory.
+func (r *Rank) ShrinkMemory(words float64) {
+	r.curMemory -= words
+	if r.curMemory < -1e-9 {
+		panic("machine: memory accounting went negative")
+	}
+}
+
+// MemoryInUse returns the currently recorded local-memory usage in words.
+func (r *Rank) MemoryInUse() float64 { return r.curMemory }

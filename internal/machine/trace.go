@@ -1,0 +1,150 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// EventKind classifies a traced simulator event.
+type EventKind int
+
+const (
+	// EventSend is a message injection (link occupancy at the sender).
+	EventSend EventKind = iota
+	// EventRecv is a message delivery, including any wait for the sender.
+	EventRecv
+	// EventCompute is local computation.
+	EventCompute
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	return [...]string{"send", "recv", "compute"}[k]
+}
+
+// Event is one traced simulator action with simulated start/end times.
+type Event struct {
+	Rank  int
+	Kind  EventKind
+	Peer  int // -1 when not applicable
+	Tag   int
+	Words float64
+	Start float64
+	End   float64
+	Phase string
+}
+
+// Trace collects events from all ranks of a world.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// add appends an event (called from rank goroutines).
+func (t *Trace) add(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns the recorded events sorted by (rank, start time).
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].End < out[j].End
+	})
+	return out
+}
+
+// EnableTracing attaches a Trace to the world; call before Run. Tracing
+// records every Send, Recv, and Compute with simulated timestamps, at some
+// memory cost per event.
+func (w *World) EnableTracing() *Trace {
+	w.trace = &Trace{}
+	return w.trace
+}
+
+// Timeline renders an ASCII Gantt chart of the trace: one row per rank,
+// time scaled to width columns; '#' marks computation, '>' send occupancy,
+// '.' receive waiting, ' ' idle. Overlapping events favor compute > send >
+// recv for visibility.
+func (t *Trace) Timeline(p int, width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	events := t.Events()
+	maxEnd := 0.0
+	for _, e := range events {
+		if e.End > maxEnd {
+			maxEnd = e.End
+		}
+	}
+	if maxEnd == 0 {
+		maxEnd = 1
+	}
+	glyph := map[EventKind]byte{EventCompute: '#', EventSend: '>', EventRecv: '.'}
+	priority := map[EventKind]int{EventCompute: 3, EventSend: 2, EventRecv: 1}
+	rows := make([][]byte, p)
+	prio := make([][]int, p)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+		prio[i] = make([]int, width)
+	}
+	for _, e := range events {
+		if e.Rank < 0 || e.Rank >= p {
+			continue
+		}
+		lo := int(e.Start / maxEnd * float64(width-1))
+		hi := int(e.End / maxEnd * float64(width-1))
+		for x := lo; x <= hi && x < width; x++ {
+			if priority[e.Kind] > prio[e.Rank][x] {
+				rows[e.Rank][x] = glyph[e.Kind]
+				prio[e.Rank][x] = priority[e.Kind]
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline (0 .. %.4g simulated time units; #=compute >=send .=recv)\n", maxEnd)
+	for r := 0; r < p; r++ {
+		fmt.Fprintf(&b, "rank %3d |%s|\n", r, rows[r])
+	}
+	return b.String()
+}
+
+// Summary aggregates per-kind totals (simulated time units per rank).
+func (t *Trace) Summary(p int) string {
+	events := t.Events()
+	type agg struct{ compute, send, recv float64 }
+	per := make([]agg, p)
+	for _, e := range events {
+		if e.Rank < 0 || e.Rank >= p {
+			continue
+		}
+		d := e.End - e.Start
+		switch e.Kind {
+		case EventCompute:
+			per[e.Rank].compute += d
+		case EventSend:
+			per[e.Rank].send += d
+		case EventRecv:
+			per[e.Rank].recv += d
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s\n", "rank", "compute", "send", "recv-wait")
+	for r := 0; r < p; r++ {
+		fmt.Fprintf(&b, "%-8d %12.4g %12.4g %12.4g\n", r, per[r].compute, per[r].send, per[r].recv)
+	}
+	return b.String()
+}

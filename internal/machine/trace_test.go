@@ -1,0 +1,134 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceRecordsEvents(t *testing.T) {
+	w := NewWorld(2, Config{Alpha: 1, Beta: 1, Gamma: 0.5})
+	tr := w.EnableTracing()
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Compute(10) // [0, 5]
+			r.SetPhase("main")
+			r.Send(1, 7, []float64{1, 2, 3}) // [5, 9]
+		} else {
+			r.Recv(0, 7) // [0, 9]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d events: %+v", len(events), events)
+	}
+	// Sorted by rank then start: compute, send, recv.
+	if events[0].Kind != EventCompute || events[0].Start != 0 || events[0].End != 5 {
+		t.Fatalf("compute event wrong: %+v", events[0])
+	}
+	if events[1].Kind != EventSend || events[1].Start != 5 || events[1].End != 9 || events[1].Peer != 1 || events[1].Phase != "main" {
+		t.Fatalf("send event wrong: %+v", events[1])
+	}
+	if events[2].Kind != EventRecv || events[2].Rank != 1 || events[2].Start != 0 || events[2].End != 9 {
+		t.Fatalf("recv event wrong: %+v", events[2])
+	}
+	if EventSend.String() != "send" || EventRecv.String() != "recv" || EventCompute.String() != "compute" {
+		t.Fatal("kind names")
+	}
+}
+
+func TestTimelineAndSummaryRender(t *testing.T) {
+	w := NewWorld(3, Config{Alpha: 0, Beta: 1, Gamma: 1})
+	tr := w.EnableTracing()
+	err := w.Run(func(r *Rank) {
+		r.Compute(50)
+		next := (r.ID() + 1) % 3
+		prev := (r.ID() + 2) % 3
+		r.Send(next, 0, make([]float64, 25))
+		r.Recv(prev, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := tr.Timeline(3, 60)
+	if !strings.Contains(tl, "rank   0") || !strings.Contains(tl, "#") || !strings.Contains(tl, ">") {
+		t.Fatalf("timeline missing content:\n%s", tl)
+	}
+	if lines := strings.Count(tl, "\n"); lines != 4 { // header + 3 ranks
+		t.Fatalf("timeline has %d lines:\n%s", lines, tl)
+	}
+	sum := tr.Summary(3)
+	if !strings.Contains(sum, "compute") || !strings.Contains(sum, "50") {
+		t.Fatalf("summary missing content:\n%s", sum)
+	}
+}
+
+func TestTimelineEmptyTrace(t *testing.T) {
+	tr := &Trace{}
+	if s := tr.Timeline(2, 40); !strings.Contains(s, "rank") {
+		t.Fatalf("empty timeline broken:\n%s", s)
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	w := NewWorld(2, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 0, []float64{1})
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.trace != nil {
+		t.Fatal("trace attached without EnableTracing")
+	}
+}
+
+func TestTrafficMatrix(t *testing.T) {
+	w := NewWorld(3, BandwidthOnly())
+	tm := w.EnableTraffic()
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 0, make([]float64, 10))
+			r.Send(2, 0, make([]float64, 5))
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Words(0, 1) != 10 || tm.Words(0, 2) != 5 || tm.Words(1, 0) != 0 {
+		t.Fatalf("traffic wrong: %v %v %v", tm.Words(0, 1), tm.Words(0, 2), tm.Words(1, 0))
+	}
+	if tm.ActivePairs() != 2 {
+		t.Fatalf("active pairs = %d", tm.ActivePairs())
+	}
+	hm := tm.Heatmap()
+	if !strings.Contains(hm, "#") || strings.Count(hm, "|") != 6 {
+		t.Fatalf("heatmap broken:\n%s", hm)
+	}
+}
+
+// TestTrafficLocalityOfAlg1Fibers: Algorithm 1's traffic stays on grid
+// fibers — far fewer active pairs than an all-to-all pattern would use.
+// (Uses raw sends shaped like the fiber pattern to keep the machine
+// package dependency-free; the algs-level check lives in that package.)
+func TestTrafficHeatmapAllZero(t *testing.T) {
+	w := NewWorld(2, BandwidthOnly())
+	tm := w.EnableTraffic()
+	if err := w.Run(func(r *Rank) {}); err != nil {
+		t.Fatal(err)
+	}
+	if tm.ActivePairs() != 0 {
+		t.Fatal("no traffic expected")
+	}
+	if hm := tm.Heatmap(); !strings.Contains(hm, "max cell 0") {
+		t.Fatalf("zero heatmap: %s", hm)
+	}
+}

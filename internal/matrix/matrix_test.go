@@ -1,0 +1,317 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 || m.Size() != 12 {
+		t.Fatalf("shape = %dx%d size %d", m.Rows(), m.Cols(), m.Size())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 1, 3.5)
+	m.Add(0, 1, 1.5)
+	if got := m.At(0, 1); got != 5 {
+		t.Fatalf("At(0,1) = %v, want 5", got)
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	m := New(2, 2)
+	for _, fn := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(-1, 0, 1) },
+		func() { m.Row(5) },
+		func() { m.View(1, 1, 2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for out-of-range access")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewFromSliceAndPackRoundTrip(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := NewFromSlice(2, 3, data)
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v", m.At(1, 2))
+	}
+	packed := m.Pack()
+	m2 := New(2, 3)
+	m2.Unpack(packed)
+	if !m.Equal(m2, 0) {
+		t.Fatal("pack/unpack round trip changed values")
+	}
+}
+
+func TestViewAliasesParent(t *testing.T) {
+	m := Indexed(4, 5)
+	v := m.View(1, 2, 2, 3)
+	if v.At(0, 0) != m.At(1, 2) {
+		t.Fatalf("view (0,0) = %v, want %v", v.At(0, 0), m.At(1, 2))
+	}
+	v.Set(1, 1, -99)
+	if m.At(2, 3) != -99 {
+		t.Fatal("write through view not visible in parent")
+	}
+	// Pack of a view must be row-major of just the view.
+	p := v.Pack()
+	if len(p) != 6 || p[4] != -99 {
+		t.Fatalf("view pack = %v", p)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := Indexed(3, 3)
+	c := m.Clone()
+	c.Set(0, 0, 42)
+	if m.At(0, 0) == 42 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := Indexed(2, 3)
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := Random(5, 7, seed)
+		return m.Transpose().Transpose().Equal(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleAddInto(t *testing.T) {
+	m := Indexed(2, 2)
+	n := m.Clone()
+	m.Scale(2)
+	m.AddInto(n) // m = 3*original
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if m.At(i, j) != 3*n.At(i, j) {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, m.At(i, j), 3*n.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := NewFromSlice(1, 2, []float64{3, 4})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("norm = %v, want 5", got)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := NewFromSlice(1, 3, []float64{1, 2, 3})
+	b := NewFromSlice(1, 3, []float64{1, 0.5, 3})
+	if got := a.MaxAbsDiff(b); got != 1.5 {
+		t.Fatalf("MaxAbsDiff = %v, want 1.5", got)
+	}
+}
+
+func TestMulAgainstNaive(t *testing.T) {
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {7, 1, 9}, {64, 64, 64},
+		{65, 33, 17}, {100, 3, 100}, {3, 100, 3},
+	}
+	for _, s := range shapes {
+		a := Random(s.m, s.n, uint64(s.m*1000+s.n))
+		b := Random(s.n, s.k, uint64(s.n*1000+s.k))
+		want := MulNaive(a, b)
+		if got := Mul(a, b); !got.Equal(want, 1e-9) {
+			t.Fatalf("Mul mismatch for %dx%dx%d: max diff %g", s.m, s.n, s.k, got.MaxAbsDiff(want))
+		}
+		if got := MulParallel(a, b, 4); !got.Equal(want, 1e-9) {
+			t.Fatalf("MulParallel mismatch for %dx%dx%d", s.m, s.n, s.k)
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := Random(6, 6, seed)
+		return Mul(a, Identity(6)).Equal(a, 1e-12) && Mul(Identity(6), a).Equal(a, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAddAccumulates(t *testing.T) {
+	a := Random(4, 5, 1)
+	b := Random(5, 6, 2)
+	c := Random(4, 6, 3)
+	orig := c.Clone()
+	MulAdd(c, a, b)
+	prod := MulNaive(a, b)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			want := orig.At(i, j) + prod.At(i, j)
+			if math.Abs(c.At(i, j)-want) > 1e-9 {
+				t.Fatalf("MulAdd (%d,%d) = %v, want %v", i, j, c.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner dimension mismatch")
+		}
+	}()
+	Mul(New(2, 3), New(4, 2))
+}
+
+func TestMulParallelWorkerCounts(t *testing.T) {
+	a := Random(33, 20, 7)
+	b := Random(20, 29, 8)
+	want := MulNaive(a, b)
+	for _, w := range []int{-1, 0, 1, 2, 3, 16, 100} {
+		if got := MulParallel(a, b, w); !got.Equal(want, 1e-9) {
+			t.Fatalf("MulParallel(workers=%d) mismatch", w)
+		}
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	cases := []struct{ n, p int }{{10, 3}, {10, 10}, {10, 1}, {3, 7}, {0, 4}, {100, 7}}
+	for _, c := range cases {
+		segs := Partition(c.n, c.p)
+		if len(segs) != c.p {
+			t.Fatalf("Partition(%d,%d) produced %d segments", c.n, c.p, len(segs))
+		}
+		total, prev := 0, 0
+		minLen, maxLen := c.n+1, -1
+		for i, s := range segs {
+			if s.Lo != prev {
+				t.Fatalf("Partition(%d,%d): segment %d starts at %d, want %d", c.n, c.p, i, s.Lo, prev)
+			}
+			if s.Len() < 0 {
+				t.Fatalf("negative segment %v", s)
+			}
+			if s.Len() < minLen {
+				minLen = s.Len()
+			}
+			if s.Len() > maxLen {
+				maxLen = s.Len()
+			}
+			total += s.Len()
+			prev = s.Hi
+		}
+		if total != c.n {
+			t.Fatalf("Partition(%d,%d) covers %d indices", c.n, c.p, total)
+		}
+		if maxLen-minLen > 1 {
+			t.Fatalf("Partition(%d,%d) unbalanced: min %d max %d", c.n, c.p, minLen, maxLen)
+		}
+	}
+}
+
+func TestPartSizeStartAgreeWithPartition(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw)
+		p := int(pRaw)%16 + 1
+		segs := Partition(n, p)
+		for i, s := range segs {
+			if PartSize(n, p, i) != s.Len() || PartStart(n, p, i) != s.Lo {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockOfSetBlockRoundTrip(t *testing.T) {
+	m := Indexed(10, 13)
+	out := New(10, 13)
+	pr, pc := 3, 4
+	for i := 0; i < pr; i++ {
+		for j := 0; j < pc; j++ {
+			SetBlock(out, pr, pc, i, j, BlockOf(m, pr, pc, i, j))
+		}
+	}
+	if !out.Equal(m, 0) {
+		t.Fatal("reassembling blocks did not reproduce the matrix")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(8, 8, 42)
+	b := Random(8, 8, 42)
+	c := Random(8, 8, 43)
+	if !a.Equal(b, 0) {
+		t.Fatal("same seed produced different matrices")
+	}
+	if a.Equal(c, 0) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+	for i := 0; i < 8; i++ {
+		for _, v := range a.Row(i) {
+			if v < -1 || v >= 1 {
+				t.Fatalf("Random value %v outside [-1,1)", v)
+			}
+		}
+	}
+}
+
+func TestIndexedEncodesPosition(t *testing.T) {
+	m := Indexed(3, 4)
+	if m.At(2, 3) != 12 || m.At(0, 0) != 1 {
+		t.Fatalf("Indexed values wrong: %v %v", m.At(0, 0), m.At(2, 3))
+	}
+}
+
+func TestZero(t *testing.T) {
+	m := Indexed(3, 3)
+	m.Zero()
+	if m.FrobeniusNorm() != 0 {
+		t.Fatal("Zero left nonzero elements")
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	if s := New(2, 2).String(); len(s) == 0 {
+		t.Fatal("empty String for small matrix")
+	}
+	if s := New(100, 100).String(); s != "Dense{100x100}" {
+		t.Fatalf("large matrix String = %q", s)
+	}
+}

@@ -1,0 +1,76 @@
+package matrix
+
+import "fmt"
+
+// Segment is a half-open index range [Lo, Hi) describing one part of a
+// balanced 1D block partition.
+type Segment struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the segment.
+func (s Segment) Len() int { return s.Hi - s.Lo }
+
+// Partition splits the index range [0, n) into p contiguous segments whose
+// lengths differ by at most one: the first n mod p segments get ceil(n/p)
+// indices, the rest floor(n/p). It is the canonical block distribution used
+// by every distributed algorithm in this repository, and it degrades
+// gracefully when p does not divide n (segments may be empty when p > n).
+func Partition(n, p int) []Segment {
+	if n < 0 || p <= 0 {
+		panic(fmt.Sprintf("matrix: Partition(%d, %d)", n, p))
+	}
+	segs := make([]Segment, p)
+	q, r := n/p, n%p
+	lo := 0
+	for i := range segs {
+		length := q
+		if i < r {
+			length++
+		}
+		segs[i] = Segment{Lo: lo, Hi: lo + length}
+		lo += length
+	}
+	return segs
+}
+
+// PartSize returns the length of segment i of Partition(n, p) without
+// materializing the slice.
+func PartSize(n, p, i int) int {
+	if i < 0 || i >= p {
+		panic(fmt.Sprintf("matrix: PartSize index %d of %d", i, p))
+	}
+	q, r := n/p, n%p
+	if i < r {
+		return q + 1
+	}
+	return q
+}
+
+// PartStart returns the starting index of segment i of Partition(n, p).
+func PartStart(n, p, i int) int {
+	if i < 0 || i >= p {
+		panic(fmt.Sprintf("matrix: PartStart index %d of %d", i, p))
+	}
+	q, r := n/p, n%p
+	if i < r {
+		return i * (q + 1)
+	}
+	return r*(q+1) + (i-r)*q
+}
+
+// BlockOf returns the (i, j) block of m under a pr×pc balanced 2D block
+// partition, as a copy with contiguous storage.
+func BlockOf(m *Dense, pr, pc, i, j int) *Dense {
+	r0 := PartStart(m.Rows(), pr, i)
+	c0 := PartStart(m.Cols(), pc, j)
+	return m.View(r0, c0, PartSize(m.Rows(), pr, i), PartSize(m.Cols(), pc, j)).Clone()
+}
+
+// SetBlock copies block into position (i, j) of the pr×pc balanced 2D block
+// partition of m.
+func SetBlock(m *Dense, pr, pc, i, j int, block *Dense) {
+	r0 := PartStart(m.Rows(), pr, i)
+	c0 := PartStart(m.Cols(), pc, j)
+	m.View(r0, c0, block.Rows(), block.Cols()).CopyFrom(block)
+}

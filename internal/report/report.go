@@ -1,0 +1,214 @@
+// Package report renders the experiment outputs: fixed-width ASCII tables
+// (matching the layout of the paper's Table 1), CSV emission for external
+// plotting, and simple ASCII line charts used to visualize the bound curves
+// and sweeps in terminal output.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; it must have exactly one cell per header.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("report: row with %d cells for %d columns", len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with padded columns and a rule under the header.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quoting cells containing
+// commas or quotes), headers first.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Num formats a float compactly: integers without decimals, large values in
+// scientific notation, NaN as "-" (matching the paper's empty Table 1
+// cells).
+func Num(v float64) string {
+	// Snap values within a few ulps of an integer (products of exact
+	// integer formulas computed through irrational intermediates).
+	if r := math.Round(v); r != 0 && math.Abs(v-r) < 1e-9*math.Abs(r) {
+		v = r
+	}
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e7:
+		return fmt.Sprintf("%d", int64(v))
+	case math.Abs(v) >= 1e7 || (math.Abs(v) < 1e-3 && v != 0):
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Series is one line of an ASCII chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders series as a log-x ASCII line chart of the given size.
+// It is intentionally minimal: experiments use it to show the shape of the
+// bound curves (three regimes, crossovers) directly in terminal output.
+type Chart struct {
+	Title         string
+	Width, Height int
+	LogX, LogY    bool
+	Series        []Series
+}
+
+// String renders the chart with one glyph per series and a legend.
+func (c *Chart) String() string {
+	if c.Width <= 0 {
+		c.Width = 72
+	}
+	if c.Height <= 0 {
+		c.Height = 20
+	}
+	glyphs := "*o+x#@%&"
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(v float64) float64 {
+		if c.LogX {
+			return math.Log(math.Max(v, 1e-300))
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if c.LogY {
+			return math.Log(math.Max(v, 1e-300))
+		}
+		return v
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, tx(s.X[i]))
+			xmax = math.Max(xmax, tx(s.X[i]))
+			ymin = math.Min(ymin, ty(s.Y[i]))
+			ymax = math.Max(ymax, ty(s.Y[i]))
+		}
+	}
+	if !(xmax > xmin) {
+		xmax = xmin + 1
+	}
+	if !(ymax > ymin) {
+		ymax = ymin + 1
+	}
+	cells := make([][]byte, c.Height)
+	for i := range cells {
+		cells[i] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for si, s := range c.Series {
+		glyph := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			px := int((tx(s.X[i]) - xmin) / (xmax - xmin) * float64(c.Width-1))
+			py := int((ty(s.Y[i]) - ymin) / (ymax - ymin) * float64(c.Height-1))
+			row := c.Height - 1 - py
+			cells[row][px] = glyph
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title + "\n")
+	}
+	for i, row := range cells {
+		label := "          "
+		if i == 0 {
+			label = fmt.Sprintf("%9.3g ", unTx(ymax, c.LogY))
+		} else if i == c.Height-1 {
+			label = fmt.Sprintf("%9.3g ", unTx(ymin, c.LogY))
+		}
+		b.WriteString(label + "|" + string(row) + "\n")
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", c.Width) + "\n")
+	b.WriteString(fmt.Sprintf("%10s %-10.4g%*s%10.4g\n", "", unTx(xmin, c.LogX), c.Width-20, "", unTx(xmax, c.LogX)))
+	for si, s := range c.Series {
+		b.WriteString(fmt.Sprintf("  %c = %s\n", glyphs[si%len(glyphs)], s.Name))
+	}
+	return b.String()
+}
+
+func unTx(v float64, log bool) float64 {
+	if log {
+		return math.Exp(v)
+	}
+	return v
+}

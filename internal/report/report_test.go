@@ -1,0 +1,97 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("longer-name", "23456")
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "longer-name") {
+		t.Fatalf("table output missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	// Columns aligned: both data rows have the value column at the same
+	// byte offset.
+	off1 := strings.Index(lines[3], "1")
+	off2 := strings.Index(lines[4], "23456")
+	if off1 != off2 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", off1, off2, s)
+	}
+}
+
+func TestTableRowArityPanics(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong arity")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `quote"inside`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"quote\"\"inside\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestNum(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{math.NaN(), "-"},
+		{3, "3"},
+		{-12, "-12"},
+		{2.5, "2.5"},
+		{0, "0"},
+		{1e9, "1.000e+09"},
+		{0.6299605249, "0.63"},
+	}
+	for _, c := range cases {
+		if got := Num(c.in); got != c.want {
+			t.Errorf("Num(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	ch := Chart{
+		Title:  "bound vs P",
+		Width:  40,
+		Height: 10,
+		LogX:   true,
+		LogY:   true,
+		Series: []Series{
+			{Name: "theorem3", X: []float64{1, 10, 100}, Y: []float64{1000, 100, 10}},
+			{Name: "prior", X: []float64{1, 10, 100}, Y: []float64{500, 50, 5}},
+		},
+	}
+	s := ch.String()
+	if !strings.Contains(s, "theorem3") || !strings.Contains(s, "prior") {
+		t.Fatalf("legend missing:\n%s", s)
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Fatalf("glyphs missing:\n%s", s)
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	// Single point, zero ranges: must not panic or divide by zero.
+	ch := Chart{Series: []Series{{Name: "pt", X: []float64{5}, Y: []float64{7}}}}
+	if s := ch.String(); !strings.Contains(s, "pt") {
+		t.Fatalf("degenerate chart broken:\n%s", s)
+	}
+}

@@ -1,0 +1,143 @@
+package parmm
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the quick-start path from the package
+// documentation: bound, grid, simulated run, exact attainment.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	d := NewDims(768, 192, 48)
+	p := 512
+	g, err := CaseGrid(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RandomMatrix(768, 192, 1)
+	b := RandomMatrix(192, 48, 2)
+	res, err := Alg1(a, b, p, Opts{Config: BandwidthOnly(), Grid: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.C.MaxAbsDiff(Mul(a, b)); diff > 1e-7 {
+		t.Fatalf("wrong product: %g", diff)
+	}
+	bound := LowerBound(d, p)
+	if math.Abs(res.CommCost()-bound) > 1e-9*bound {
+		t.Fatalf("cost %v, bound %v", res.CommCost(), bound)
+	}
+	if math.Abs(GridCommCost(d, g)-bound) > 1e-9*bound {
+		t.Fatalf("eq.(3) %v, bound %v", GridCommCost(d, g), bound)
+	}
+}
+
+func TestPublicBoundsSurface(t *testing.T) {
+	d := NewDims(9600, 2400, 600)
+	if CaseOf(d, 3) != Case1 || CaseOf(d, 36) != Case2 || CaseOf(d, 512) != Case3 {
+		t.Fatal("CaseOf broken")
+	}
+	t1, t2 := Thresholds(d)
+	if t1 != 4 || t2 != 64 {
+		t.Fatal("Thresholds broken")
+	}
+	if LowerBound(d, 1) != 0 || DataFootprint(d, 1) != d.InputOutputWords() {
+		t.Fatal("P=1 bound broken")
+	}
+	if math.Abs(Corollary4(100, 8)-LowerBound(SquareDims(100), 8)) > 1e-9 {
+		t.Fatal("Corollary4 disagrees with Theorem 3")
+	}
+	if LeadingTerm(d, 3) != 2400*600 {
+		t.Fatal("LeadingTerm broken")
+	}
+	if MemoryDependentLowerBound(d, 64, 1e6) <= 0 {
+		t.Fatal("memory-dependent bound broken")
+	}
+	if StrongScalingLimit(d, 1e6) <= 0 {
+		t.Fatal("strong-scaling limit broken")
+	}
+	if OptimalGrid(d, 512).Size() != 512 {
+		t.Fatal("OptimalGrid broken")
+	}
+}
+
+func TestPublicAlgorithms(t *testing.T) {
+	a := RandomMatrix(16, 16, 3)
+	b := RandomMatrix(16, 16, 4)
+	want := Mul(a, b)
+	runs := []struct {
+		name string
+		run  func() (*Result, error)
+	}{
+		{"Alg1", func() (*Result, error) { return Alg1(a, b, 8, Opts{Config: BandwidthOnly()}) }},
+		{"AllToAll3D", func() (*Result, error) { return AllToAll3D(a, b, 8, Opts{Config: BandwidthOnly()}) }},
+		{"OneD", func() (*Result, error) { return OneD(a, b, 4, Opts{Config: BandwidthOnly()}) }},
+		{"SUMMA", func() (*Result, error) { return SUMMA(a, b, 4, Opts{Config: BandwidthOnly()}) }},
+		{"Cannon", func() (*Result, error) { return Cannon(a, b, 4, Opts{Config: BandwidthOnly()}) }},
+		{"TwoPointFiveD", func() (*Result, error) { return TwoPointFiveD(a, b, 8, Opts{Config: BandwidthOnly(), Layers: 2}) }},
+	}
+	for _, r := range runs {
+		res, err := r.run()
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		if diff := res.C.MaxAbsDiff(want); diff > 1e-9 {
+			t.Fatalf("%s: wrong product (%g)", r.name, diff)
+		}
+	}
+}
+
+func TestRunAllExperiments(t *testing.T) {
+	arts, err := RunAllExperiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) == 0 {
+		t.Fatal("no experiments")
+	}
+}
+
+// ExampleLowerBound demonstrates the three-case bound on the paper's
+// Figure 2 instance.
+func ExampleLowerBound() {
+	d := NewDims(9600, 2400, 600)
+	for _, p := range []int{3, 36, 512} {
+		fmt.Printf("P=%d %v bound=%.0f words\n", p, CaseOf(d, p), LowerBound(d, p))
+	}
+	// Output:
+	// P=3 Case 1 (1D) bound=960000 words
+	// P=36 Case 2 (2D) bound=760000 words
+	// P=512 Case 3 (3D) bound=210937 words
+}
+
+func TestPublicFastAndExtensionSurface(t *testing.T) {
+	// CAPS end to end.
+	a := RandomMatrix(16, 16, 1)
+	b := RandomMatrix(16, 16, 2)
+	res, err := CAPS(a, b, 1, BandwidthOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.C.MaxAbsDiff(Mul(a, b)) > 1e-9 {
+		t.Fatal("CAPS wrong product")
+	}
+	if FastMatmulLowerBound(64, 49, 3) <= FastMatmulLowerBound(64, 49, 2.807354922) {
+		t.Fatal("fast bound ordering wrong")
+	}
+	// Cuboid extension.
+	pr, err := NewCuboidProblem(8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(CuboidLowerBound(pr, 8)-LowerBound(SquareDims(8), 8)) > 1e-9 {
+		t.Fatal("d=3 cuboid bound should equal Theorem 3")
+	}
+	// Runtime model.
+	d := SquareDims(48)
+	g := Grid{P1: 4, P2: 4, P3: 4}
+	pred := PredictAlg1Time(d, g, MachineConfig{Beta: 1})
+	if math.Abs(pred.Words-LowerBound(d, 64)) > 1e-9 {
+		t.Fatalf("prediction words %v, bound %v", pred.Words, LowerBound(d, 64))
+	}
+}
