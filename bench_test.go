@@ -9,6 +9,7 @@ package parmm
 //	go test -bench=. -benchmem
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/algs"
@@ -20,6 +21,26 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matrix"
 )
+
+// loopAllocs runs fn b.N times inside the timer and returns the mean heap
+// allocations per iteration (the counter -benchmem reports), so the heavy
+// benchmarks can derive a words-per-alloc metric: simulated communication
+// volume moved per heap allocation, the figure of merit of the pooled
+// communication hot path.
+func loopAllocs(b *testing.B, fn func(i int)) float64 {
+	b.Helper()
+	b.ReportAllocs()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	start := ms.Mallocs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(i)
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Mallocs-start) / float64(b.N)
+}
 
 // BenchmarkTable1 regenerates Table 1 (E1): the constants comparison.
 func BenchmarkTable1(b *testing.B) {
@@ -53,6 +74,7 @@ func BenchmarkLemma2Cases(b *testing.B) {
 
 // BenchmarkTheorem3Curves regenerates the bound-vs-P curves (E3).
 func BenchmarkTheorem3Curves(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if a := experiments.BoundCurves(experiments.PaperRectDims, 1<<20); a.Text == "" {
 			b.Fatal("empty artifact")
@@ -60,9 +82,34 @@ func BenchmarkTheorem3Curves(b *testing.B) {
 	}
 }
 
+// BenchmarkAlg1 runs the collective-heavy Algorithm 1 workload of the E7
+// comparison as a top-level benchmark, so `-bench Alg1` exercises the
+// pooled communication hot path directly. Besides the paper metrics it
+// reports words/alloc — simulated words moved per heap allocation.
+func BenchmarkAlg1(b *testing.B) {
+	n, p := experiments.DefaultCompareN, experiments.DefaultCompareP
+	a := matrix.Random(n, n, 17)
+	bm := matrix.Random(n, n, 18)
+	bound := core.LowerBound(core.Square(n), p)
+	var res *algs.Result
+	allocs := loopAllocs(b, func(int) {
+		var err error
+		res, err = algs.Alg1(a, bm, p, algs.Opts{Config: machine.BandwidthOnly()})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportMetric(res.CommCost(), "words/proc")
+	b.ReportMetric(res.CommCost()/bound, "ratio-to-bound")
+	if allocs > 0 {
+		b.ReportMetric(res.Stats.TotalWordsSent/allocs, "words/alloc")
+	}
+}
+
 // BenchmarkFigure1 regenerates Figure 1 (E4): Algorithm 1's per-collective
 // data movement on a 3×3×3 grid.
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure1(experiments.DefaultFig1N, 27); err != nil {
 			b.Fatal(err)
@@ -86,6 +133,7 @@ func BenchmarkFigure2(b *testing.B) {
 // BenchmarkTightness regenerates the §5.2 tightness experiment (E6):
 // simulated Algorithm 1 equals the bound in all three cases.
 func BenchmarkTightness(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Tightness(); err != nil {
 			b.Fatal(err)
@@ -107,21 +155,25 @@ func BenchmarkAlgorithms(b *testing.B) {
 		e := e
 		b.Run(e.Name, func(b *testing.B) {
 			var res *algs.Result
-			for i := 0; i < b.N; i++ {
+			allocs := loopAllocs(b, func(int) {
 				var err error
 				res, err = e.Run(a, bm, p, algs.Opts{Config: machine.BandwidthOnly()})
 				if err != nil {
 					b.Fatal(err)
 				}
-			}
+			})
 			b.ReportMetric(res.CommCost(), "words/proc")
 			b.ReportMetric(res.CommCost()/bound, "ratio-to-bound")
+			if allocs > 0 {
+				b.ReportMetric(res.Stats.TotalWordsSent/allocs, "words/alloc")
+			}
 		})
 	}
 }
 
 // BenchmarkStrongScaling regenerates the strong-scaling sweep (E7b).
 func BenchmarkStrongScaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.StrongScaling(experiments.DefaultRectDims, []int{1, 4, 16, 64, 256}); err != nil {
 			b.Fatal(err)
@@ -262,7 +314,7 @@ func BenchmarkLocalMatMul(b *testing.B) {
 // BenchmarkCollectiveAllGather measures simulator throughput for the
 // collective at the heart of Algorithm 1.
 func BenchmarkCollectiveAllGather(b *testing.B) {
-	for i := 0; i < b.N; i++ {
+	allocs := loopAllocs(b, func(int) {
 		w := machine.NewWorld(16, machine.BandwidthOnly())
 		members := make([]int, 16)
 		for j := range members {
@@ -275,6 +327,10 @@ func BenchmarkCollectiveAllGather(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	})
+	if allocs > 0 {
+		// Each of the 16 ranks forwards 15 blocks of 1024 words.
+		b.ReportMetric(16*15*1024/allocs, "words/alloc")
 	}
 }
 

@@ -5,6 +5,11 @@
 //	paper -only table1   # one artifact: table1, lemma2, bounds, fig1,
 //	                     # fig2, tight, algs, scaling, memory
 //	paper -csv out/      # additionally write <id>.csv files
+//	paper -workers 4     # evaluate sweep points on 4 goroutines
+//
+// The simulation-backed experiments fan their sweep points across -workers
+// goroutines (default GOMAXPROCS); the artifacts are byte-identical for
+// every worker count.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -23,7 +29,10 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write <id>.csv files into")
 	jsonOut := flag.Bool("json", false, "emit the artifacts as a JSON array instead of text")
 	list := flag.Bool("list", false, "list the available artifact names and exit")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"sweep points evaluated concurrently; output is identical for every value")
 	flag.Parse()
+	experiments.SetWorkers(*workers)
 
 	if *list {
 		for _, name := range []string{

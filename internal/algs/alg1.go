@@ -67,44 +67,67 @@ func run3D(name string, a, b *matrix.Dense, p int, opts Opts, reduceScatter bool
 		// Initial one-copy distribution: the A block (i1, i2) is spread
 		// evenly (as packed word ranges) over the Axis3 fiber, the B block
 		// (i2, i3) over the Axis1 fiber — exactly the layout of §5.
-		aBlk := matrix.BlockOf(a, g.P1, g.P2, i1, i2)
-		bBlk := matrix.BlockOf(b, g.P2, g.P3, i2, i3)
-		packedA := aBlk.Pack()
-		packedB := bBlk.Pack()
-		countsA := shareCounts(len(packedA), g.P3)
-		countsB := shareCounts(len(packedB), g.P1)
+		aBlk := matrix.BlockView(a, g.P1, g.P2, i1, i2)
+		bBlk := matrix.BlockView(b, g.P2, g.P3, i2, i3)
+		packedA := aBlk.PackInto(r.GetBuffer(aBlk.Size()))
+		packedB := bBlk.PackInto(r.GetBuffer(bBlk.Size()))
+		countsA := shareCountsInto(r.GetInts(g.P3), len(packedA))
+		countsB := shareCountsInto(r.GetInts(g.P1), len(packedB))
 		loA, hiA := shareRange(len(packedA), g.P3, i3)
 		loB, hiB := shareRange(len(packedB), g.P1, i1)
 		myA := packedA[loA:hiA]
 		myB := packedB[loB:hiB]
 		r.GrowMemory(float64(len(myA) + len(myB)))
 
-		// Line 3: A_{p1'p2'} = All-Gather over (p1', p2', :).
+		// Line 3: A_{p1'p2'} = All-Gather over (p1', p2', :). The gather
+		// output is a pooled buffer that serves directly (wrapped, no copy)
+		// as the local gathered block; groups live on the stack and return
+		// their scratch on Release.
 		r.SetPhase(PhaseGatherA)
-		grpA := collective.NewGroup(r, g.Fiber(r.ID(), grid.Axis3), 1, opts.Collective)
-		fullA := grpA.AllGatherV(myA, countsA)
+		membersA := g.FiberInto(r.GetInts(g.P3), r.ID(), grid.Axis3)
+		var grpA collective.Group
+		grpA.Init(r, membersA, 1, opts.Collective)
+		fullA := grpA.AllGatherVInto(myA, countsA, r.GetBuffer(len(packedA)))
 		r.GrowMemory(float64(len(fullA) - len(myA)))
-		gatheredA := matrix.New(aBlk.Rows(), aBlk.Cols())
-		gatheredA.Unpack(fullA)
+		gatheredA := matrix.Wrap(aBlk.Rows(), aBlk.Cols(), fullA)
+		grpA.Release()
+		r.PutInts(membersA)
+		r.PutInts(countsA)
+		r.PutBuffer(packedA)
 
 		// Line 4: B_{p2'p3'} = All-Gather over (:, p2', p3').
 		r.SetPhase(PhaseGatherB)
-		grpB := collective.NewGroup(r, g.Fiber(r.ID(), grid.Axis1), 2, opts.Collective)
-		fullB := grpB.AllGatherV(myB, countsB)
+		membersB := g.FiberInto(r.GetInts(g.P1), r.ID(), grid.Axis1)
+		var grpB collective.Group
+		grpB.Init(r, membersB, 2, opts.Collective)
+		fullB := grpB.AllGatherVInto(myB, countsB, r.GetBuffer(len(packedB)))
 		r.GrowMemory(float64(len(fullB) - len(myB)))
-		gatheredB := matrix.New(bBlk.Rows(), bBlk.Cols())
-		gatheredB.Unpack(fullB)
+		gatheredB := matrix.Wrap(bBlk.Rows(), bBlk.Cols(), fullB)
+		grpB.Release()
+		r.PutInts(membersB)
+		r.PutInts(countsB)
+		r.PutBuffer(packedB)
 
-		// Line 6: local computation D = A_{p1'p2'} · B_{p2'p3'}.
+		// Line 6: local computation D = A_{p1'p2'} · B_{p2'p3'}. D lives in
+		// a pooled buffer that doubles as its packed form for Line 8 (a
+		// wrapped matrix is contiguous row-major by construction).
 		r.SetPhase("")
-		dBlk := localMul(r, gatheredA, gatheredB, opts.Workers)
+		packedD := r.GetBuffer(gatheredA.Rows() * gatheredB.Cols())
+		for i := range packedD {
+			packedD[i] = 0
+		}
+		dBlk := matrix.Wrap(gatheredA.Rows(), gatheredB.Cols(), packedD)
+		localMulAddVal(r, dBlk, gatheredA, gatheredB, opts.Workers)
 		r.GrowMemory(float64(dBlk.Size()))
+		r.PutBuffer(fullA)
+		r.PutBuffer(fullB)
 
 		// Line 8: C contributions summed over (p1', :, p3').
-		packedD := dBlk.Pack()
-		countsC := shareCounts(len(packedD), g.P2)
+		countsC := shareCountsInto(r.GetInts(g.P2), len(packedD))
 		r.SetPhase(PhaseReduceC)
-		grpC := collective.NewGroup(r, g.Fiber(r.ID(), grid.Axis2), 3, opts.Collective)
+		membersC := g.FiberInto(r.GetInts(g.P2), r.ID(), grid.Axis2)
+		var grpC collective.Group
+		grpC.Init(r, membersC, 3, opts.Collective)
 		var myC []float64
 		if reduceScatter {
 			myC = grpC.ReduceScatterV(packedD, countsC)
@@ -130,6 +153,10 @@ func run3D(name string, a, b *matrix.Dense, p int, opts Opts, reduceScatter bool
 				r.Compute(float64((g.P2 - 1) * len(myC)))
 			}
 		}
+		grpC.Release()
+		r.PutInts(membersC)
+		r.PutInts(countsC)
+		r.PutBuffer(packedD)
 		r.SetPhase("")
 		r.GrowMemory(float64(len(myC)))
 		chunks[r.ID()] = myC

@@ -118,10 +118,23 @@ func localMulAdd(r *machine.Rank, c, a, b *matrix.Dense, workers int) {
 	matrix.MulAdd(c, a, b)
 }
 
+// localMulAddVal is localMulAdd on matrix values (wrapped pooled buffers),
+// keeping the headers off the heap on the sequential path.
+func localMulAddVal(r *machine.Rank, c, a, b matrix.Dense, workers int) {
+	r.Compute(float64(a.Rows()) * float64(a.Cols()) * float64(b.Cols()))
+	matrix.MulAddVal(c, a, b, workers)
+}
+
 // shareCounts returns the balanced per-member word counts for splitting a
 // packed block of total words across p owners.
 func shareCounts(total, p int) []int {
-	counts := make([]int, p)
+	return shareCountsInto(make([]int, p), total)
+}
+
+// shareCountsInto is shareCounts writing into counts (whose length is the
+// owner count); it returns counts.
+func shareCountsInto(counts []int, total int) []int {
+	p := len(counts)
 	q, rem := total/p, total%p
 	for i := range counts {
 		counts[i] = q

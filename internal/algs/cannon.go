@@ -44,20 +44,23 @@ func Cannon(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 		cBlk := matrix.New(d.N1/q, d.N3/q)
 		r.GrowMemory(float64(cBlk.Size()))
 
+		// Pooled serialization buffers reused for every skew and shift
+		// exchange; Send copies out of them before RecvInto overwrites.
+		aBuf := r.GetBuffer(aBlk.Size())
+		bBuf := r.GetBuffer(bBlk.Size())
+
 		// Initial skew: processor (i, j) must hold A(i, (j+i) mod q) and
 		// B((i+j) mod q, j). Each processor sends its canonical block to
 		// the peer that needs it and receives its aligned block.
 		if q > 1 && i != 0 {
 			dst := g.Rank(i, 0, (j-i+q)%q) // A(i,j) is needed at column j-i
 			src := g.Rank(i, 0, (j+i)%q)
-			got := sendRecvAvoidSelf(r, dst, src, tagSkewA, aBlk.Pack())
-			aBlk.Unpack(got)
+			exchangeBlock(r, dst, src, tagSkewA, aBlk, aBuf)
 		}
 		if q > 1 && j != 0 {
 			dst := g.Rank((i-j+q)%q, 0, j) // B(i,j) is needed at row i-j
 			src := g.Rank((i+j)%q, 0, j)
-			got := sendRecvAvoidSelf(r, dst, src, tagSkewB, bBlk.Pack())
-			bBlk.Unpack(got)
+			exchangeBlock(r, dst, src, tagSkewB, bBlk, bBuf)
 		}
 
 		for s := 0; s < q; s++ {
@@ -69,13 +72,13 @@ func Cannon(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 			// up (receive from below).
 			leftRank := g.Rank(i, 0, (j-1+q)%q)
 			rightRank := g.Rank(i, 0, (j+1)%q)
-			got := sendRecvAvoidSelf(r, leftRank, rightRank, tagShiftA, aBlk.Pack())
-			aBlk.Unpack(got)
+			exchangeBlock(r, leftRank, rightRank, tagShiftA, aBlk, aBuf)
 			upRank := g.Rank((i-1+q)%q, 0, j)
 			downRank := g.Rank((i+1)%q, 0, j)
-			got = sendRecvAvoidSelf(r, upRank, downRank, tagShiftB, bBlk.Pack())
-			bBlk.Unpack(got)
+			exchangeBlock(r, upRank, downRank, tagShiftB, bBlk, bBuf)
 		}
+		r.PutBuffer(aBuf)
+		r.PutBuffer(bBuf)
 		blocks[r.ID()] = cBlk.Pack()
 	})
 	if runErr != nil {
@@ -91,12 +94,17 @@ func Cannon(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 	return &Result{Name: "Cannon", C: c, Grid: g, Stats: w.Stats(), Trace: tr}, nil
 }
 
-// sendRecvAvoidSelf performs a SendRecv but short-circuits when both peers
-// are this rank (shift distance 0 in a degenerate grid), returning the data
-// unchanged.
-func sendRecvAvoidSelf(r *machine.Rank, dst, src, tag int, data []float64) []float64 {
+// exchangeBlock sends blk's contents to dst and replaces them with the block
+// received from src, serializing through the caller-owned buf (len must equal
+// blk.Size()) so the exchange allocates nothing. Packing buf, sending from it,
+// and receiving back into it is safe because Send copies the payload into the
+// network before RecvInto overwrites buf. When both peers are this rank
+// (shift distance 0 in a degenerate grid) the block is left unchanged.
+func exchangeBlock(r *machine.Rank, dst, src, tag int, blk *matrix.Dense, buf []float64) {
 	if dst == r.ID() && src == r.ID() {
-		return data
+		return
 	}
-	return r.SendRecv(dst, src, tag, data)
+	blk.PackInto(buf)
+	r.SendRecvInto(dst, src, tag, buf, buf)
+	blk.Unpack(buf)
 }

@@ -43,12 +43,15 @@ func OneD(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 		r.GrowMemory(float64(aBand.Size() + len(myB)))
 
 		r.SetPhase(PhaseGatherB)
-		grp := collective.NewGroup(r, members, 1, opts.Collective)
-		fullB := grp.AllGatherV(myB, countsB)
+		var grp collective.Group
+		grp.Init(r, members, 1, opts.Collective)
+		fullB := grp.AllGatherVInto(myB, countsB, r.GetBuffer(len(packedB)))
+		grp.Release()
 		r.SetPhase("")
 		r.GrowMemory(float64(len(fullB) - len(myB)))
 		bMat := matrix.New(d.N2, d.N3)
 		bMat.Unpack(fullB)
+		r.PutBuffer(fullB)
 
 		cBand := localMul(r, aBand, bMat, opts.Workers)
 		r.GrowMemory(float64(cBand.Size()))

@@ -61,10 +61,11 @@ func SUMMA(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 		bBlk := matrix.BlockOf(b, pr, pc, i1, i3)
 		r.GrowMemory(float64(aBlk.Size() + bBlk.Size()))
 
-		rowFiber := g.Fiber(r.ID(), grid.Axis3) // same i1, varying i3
-		colFiber := g.Fiber(r.ID(), grid.Axis1) // same i3, varying i1
-		rowGrp := collective.NewGroup(r, rowFiber, 1, opts.Collective)
-		colGrp := collective.NewGroup(r, colFiber, 2, opts.Collective)
+		rowFiber := g.FiberInto(r.GetInts(pc), r.ID(), grid.Axis3) // same i1, varying i3
+		colFiber := g.FiberInto(r.GetInts(pr), r.ID(), grid.Axis1) // same i3, varying i1
+		var rowGrp, colGrp collective.Group
+		rowGrp.Init(r, rowFiber, 1, opts.Collective)
+		colGrp.Init(r, colFiber, 2, opts.Collective)
 
 		cBlk := matrix.New(aBlk.Rows(), matrix.PartSize(d.N3, pc, i3))
 		r.GrowMemory(float64(cBlk.Size() + aBlk.Rows()*panelW + panelW*cBlk.Cols()))
@@ -72,6 +73,10 @@ func SUMMA(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 		aColStart := matrix.PartStart(d.N2, pc, i3) // my A block's global col range
 		bRowStart := matrix.PartStart(d.N2, pr, i1)
 
+		// The panel matrices are reused across steps; the packed panels
+		// travel in pooled buffers recycled after each unpack.
+		aP := matrix.New(aBlk.Rows(), panelW)
+		bP := matrix.New(panelW, cBlk.Cols())
 		for s := 0; s < steps; s++ {
 			k0 := s * panelW // global start of the contracted panel
 			// A panel: columns [k0, k0+panelW) live on processor column
@@ -80,12 +85,12 @@ func SUMMA(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 			ownerCol := k0 * pc / d.N2
 			var aPanel []float64
 			if i3 == ownerCol {
-				aPanel = aBlk.View(0, k0-aColStart, aBlk.Rows(), panelW).Pack()
+				aPanel = aBlk.View(0, k0-aColStart, aBlk.Rows(), panelW).PackInto(r.GetBuffer(aBlk.Rows() * panelW))
 			}
 			r.SetPhase(PhaseGatherA)
 			aPanel = rowGrp.Bcast(aPanel, ownerCol)
-			aP := matrix.New(aBlk.Rows(), panelW)
 			aP.Unpack(aPanel)
+			r.PutBuffer(aPanel)
 
 			// B panel: rows [k0, k0+panelW) live on processor row
 			// k0*pr/n2; the owner broadcasts its panelW×(n3/pc) slice
@@ -93,16 +98,20 @@ func SUMMA(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 			ownerRow := k0 * pr / d.N2
 			var bPanel []float64
 			if i1 == ownerRow {
-				bPanel = bBlk.View(k0-bRowStart, 0, panelW, bBlk.Cols()).Pack()
+				bPanel = bBlk.View(k0-bRowStart, 0, panelW, bBlk.Cols()).PackInto(r.GetBuffer(panelW * bBlk.Cols()))
 			}
 			r.SetPhase(PhaseGatherB)
 			bPanel = colGrp.Bcast(bPanel, ownerRow)
-			bP := matrix.New(panelW, cBlk.Cols())
 			bP.Unpack(bPanel)
+			r.PutBuffer(bPanel)
 
 			r.SetPhase("")
 			localMulAdd(r, cBlk, aP, bP, opts.Workers)
 		}
+		rowGrp.Release()
+		colGrp.Release()
+		r.PutInts(rowFiber)
+		r.PutInts(colFiber)
 		blocks[r.ID()] = cBlk.Pack()
 	})
 	if runErr != nil {

@@ -62,13 +62,17 @@ func TwoPointFiveD(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 		blk := n / q
 
 		// Replication: layer 0 owns the canonical block distribution; the
-		// layer fiber broadcasts A and B blocks to all layers.
+		// layer fiber broadcasts A and B blocks to all layers. Both the
+		// root's pack buffer and the non-roots' received payloads are pooled,
+		// and double as the align/shift exchange scratch below.
 		var packedA, packedB []float64
 		if l == 0 {
-			packedA = matrix.BlockOf(a, q, q, i, j).Pack()
-			packedB = matrix.BlockOf(b, q, q, i, j).Pack()
+			packedA = matrix.BlockOf(a, q, q, i, j).PackInto(r.GetBuffer(blk * blk))
+			packedB = matrix.BlockOf(b, q, q, i, j).PackInto(r.GetBuffer(blk * blk))
 		}
-		layerGrp := collective.NewGroup(r, g.Fiber(r.ID(), grid.Axis2), 3, opts.Collective)
+		layerFiber := g.FiberInto(r.GetInts(c), r.ID(), grid.Axis2)
+		var layerGrp collective.Group
+		layerGrp.Init(r, layerFiber, 3, opts.Collective)
 		r.SetPhase("replicate")
 		packedA = layerGrp.Bcast(packedA, 0)
 		packedB = layerGrp.Bcast(packedB, 0)
@@ -86,12 +90,12 @@ func TwoPointFiveD(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 		if q > 1 && (i+o)%q != 0 {
 			dst := g.Rank(i, l, ((j-i-o)%q+q)%q)
 			src := g.Rank(i, l, (j+i+o)%q)
-			aBlk.Unpack(sendRecvAvoidSelf(r, dst, src, tagAlignA, aBlk.Pack()))
+			exchangeBlock(r, dst, src, tagAlignA, aBlk, packedA)
 		}
 		if q > 1 && (j+o)%q != 0 {
 			dst := g.Rank(((i-j-o)%q+q)%q, l, j)
 			src := g.Rank((i+j+o)%q, l, j)
-			bBlk.Unpack(sendRecvAvoidSelf(r, dst, src, tagAlignB, bBlk.Pack()))
+			exchangeBlock(r, dst, src, tagAlignB, bBlk, packedB)
 		}
 
 		cBlk := matrix.New(blk, blk)
@@ -105,19 +109,25 @@ func TwoPointFiveD(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 			r.SetPhase("shift")
 			left := g.Rank(i, l, (j-1+q)%q)
 			right := g.Rank(i, l, (j+1)%q)
-			aBlk.Unpack(sendRecvAvoidSelf(r, left, right, tagShiftA, aBlk.Pack()))
+			exchangeBlock(r, left, right, tagShiftA, aBlk, packedA)
 			up := g.Rank((i-1+q)%q, l, j)
 			down := g.Rank((i+1)%q, l, j)
-			bBlk.Unpack(sendRecvAvoidSelf(r, up, down, tagShiftB, bBlk.Pack()))
+			exchangeBlock(r, up, down, tagShiftB, bBlk, packedB)
 			r.SetPhase("")
 		}
+		r.PutBuffer(packedA)
+		r.PutBuffer(packedB)
 
 		// Combine the layers' partial sums: Reduce-Scatter over the layer
 		// fiber leaves C block (i, j) spread evenly across layers.
-		packedC := cBlk.Pack()
-		counts := shareCounts(len(packedC), c)
+		packedC := cBlk.PackInto(r.GetBuffer(cBlk.Size()))
+		counts := shareCountsInto(r.GetInts(c), len(packedC))
 		r.SetPhase(PhaseReduceC)
 		myC := layerGrp.ReduceScatterV(packedC, counts)
+		r.PutBuffer(packedC)
+		layerGrp.Release()
+		r.PutInts(layerFiber)
+		r.PutInts(counts)
 		r.SetPhase("")
 		chunks[r.ID()] = myC
 	})

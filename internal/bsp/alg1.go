@@ -51,7 +51,13 @@ func partSize(n, p, i int) int {
 
 // fairCounts splits total into f balanced parts.
 func fairCounts(total, f int) []int {
-	counts := make([]int, f)
+	return fairCountsInto(make([]int, f), total)
+}
+
+// fairCountsInto is fairCounts writing into counts (len f), returning it;
+// the schedule builders reuse one buffer across their rank loops.
+func fairCountsInto(counts []int, total int) []int {
+	f := len(counts)
 	q, rem := total/f, total%f
 	for i := range counts {
 		counts[i] = q
@@ -75,12 +81,14 @@ func scheduleAllGather(d core.Dims, g grid.Grid, m *Machine, axis grid.Axis, blo
 	if useRec {
 		rounds = log2(f)
 	}
+	fiber := make([]int, f)
+	counts := make([]int, f)
 	for s := 0; s < rounds; s++ {
 		step := m.Step()
 		for r := 0; r < g.Size(); r++ {
-			fiber := g.Fiber(r, axis)
+			g.FiberInto(fiber, r, axis)
 			me := indexIn(fiber, r)
-			counts := fairCounts(blockWords(d, g, r), f)
+			fairCountsInto(counts, blockWords(d, g, r))
 			if useRec {
 				span := 1 << s
 				partner := me ^ span
@@ -110,12 +118,14 @@ func scheduleReduceScatter(d core.Dims, g grid.Grid, m *Machine, recursive bool)
 	if useRec {
 		rounds = log2(f)
 	}
+	fiber := make([]int, f)
+	counts := make([]int, f)
 	for s := 0; s < rounds; s++ {
 		step := m.Step()
 		for r := 0; r < g.Size(); r++ {
-			fiber := g.Fiber(r, grid.Axis2)
+			g.FiberInto(fiber, r, grid.Axis2)
 			me := indexIn(fiber, r)
-			counts := fairCounts(blockWordsD(d, g, r), f)
+			fairCountsInto(counts, blockWordsD(d, g, r))
 			if useRec {
 				// Recursive halving: at step s the active span is f/2^s;
 				// send the half not containing me.

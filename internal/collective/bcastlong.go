@@ -24,17 +24,20 @@ func (g *Group) BcastLong(data []float64, root, words int) []float64 {
 	// Chunk q (in virtual-rank space, root = vrank 0) is member
 	// (root+q) mod p's slice of the member-order output layout. Bundles
 	// travel in vrank order so subtree ranges stay contiguous.
-	counts := balancedCounts(words, p)
+	counts := g.balancedCounts(words, p)
 	vrank := (g.me - root + p) % p
 
 	var mine []float64
 	if vrank == 0 {
-		// Build the rotated (vrank-ordered) bundle from the data.
-		bundle := make([]float64, 0, words)
+		// Build the rotated (vrank-ordered) bundle from the data in a
+		// pooled workspace.
+		bundle := g.rank.GetBuffer(words)
+		off := 0
 		for q := 0; q < p; q++ {
 			member := (root + q) % p
-			off := memberOffset(counts, member)
-			bundle = append(bundle, data[off:off+counts[member]]...)
+			memberOff := memberOffset(counts, member)
+			copy(bundle[off:off+counts[member]], data[memberOff:memberOff+counts[member]])
+			off += counts[member]
 		}
 		// Scatter to children at decreasing binomial distances.
 		mask := 1
@@ -47,13 +50,14 @@ func (g *Group) BcastLong(data []float64, root, words int) []float64 {
 				if childLo+childSize > p {
 					childSize = p - childLo
 				}
-				off := vrankOffset(counts, root, childLo)
-				length := vrankOffset(counts, root, childLo+childSize) - off
-				g.send(g.indexOf((childLo+root)%p), opScatter, bundle[off:off+length])
+				childOff := vrankOffset(counts, root, childLo)
+				length := vrankOffset(counts, root, childLo+childSize) - childOff
+				g.send(g.indexOf((childLo+root)%p), opScatter, bundle[childOff:childOff+length])
 			}
 		}
-		mine = make([]float64, counts[g.me])
+		mine = g.rank.GetBuffer(counts[g.me])
 		copy(mine, bundle[:counts[g.me]])
+		g.rank.PutBuffer(bundle)
 	} else {
 		// Receive my subtree's bundle from my binomial parent, forward
 		// sub-bundles to my children, and keep my own chunk.
@@ -84,11 +88,15 @@ func (g *Group) BcastLong(data []float64, root, words int) []float64 {
 			}
 		}
 		myOff := vrankOffset(counts, root, vrank) - base
-		mine = make([]float64, counts[g.me])
+		mine = g.rank.GetBuffer(counts[g.me])
 		copy(mine, bundle[myOff:myOff+counts[g.me]])
+		g.rank.PutBuffer(bundle)
 	}
-	// Phase 2: all-gather the member-order chunks.
-	return g.AllGatherV(mine, counts)
+	// Phase 2: all-gather the member-order chunks. mine is copied into the
+	// gather output before any send, so it can be recycled afterwards.
+	out := g.AllGatherV(mine, counts)
+	g.rank.PutBuffer(mine)
+	return out
 }
 
 // memberOffset returns the word offset of member m's chunk in the

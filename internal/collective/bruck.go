@@ -13,8 +13,9 @@ func (g *Group) AllGatherBruck(myBlock []float64) []float64 {
 	w := len(myBlock)
 	out := make([]float64, p*w)
 	// Work in rotated space: position q holds the block of member
-	// (me + q) mod p.
-	buf := make([]float64, p*w)
+	// (me + q) mod p. The rotated workspace is pooled; each round's
+	// payload is received directly into it.
+	buf := g.rank.GetBuffer(p * w)
 	copy(buf[:w], myBlock)
 	have := 1
 	for have < p {
@@ -24,11 +25,10 @@ func (g *Group) AllGatherBruck(myBlock []float64) []float64 {
 		}
 		dst := (g.me - have + p) % p
 		src := (g.me + have) % p
-		got := g.sendRecv(dst, src, opAllGather, buf[:send*w])
-		if len(got) != send*w {
-			panic(fmt.Sprintf("collective: bruck got %d words, want %d", len(got), send*w))
+		got := g.sendRecvInto(dst, src, opAllGather, buf[:send*w], buf[have*w:(have+send)*w])
+		if got != send*w {
+			panic(fmt.Sprintf("collective: bruck got %d words, want %d", got, send*w))
 		}
-		copy(buf[have*w:], got)
 		have += send
 	}
 	// Unrotate: rotated position q is member (me + q) mod p.
@@ -36,5 +36,6 @@ func (g *Group) AllGatherBruck(myBlock []float64) []float64 {
 		member := (g.me + q) % p
 		copy(out[member*w:(member+1)*w], buf[q*w:(q+1)*w])
 	}
+	g.rank.PutBuffer(buf)
 	return out
 }

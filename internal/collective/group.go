@@ -49,6 +49,16 @@ type Group struct {
 	me      int // index of rank within members
 	tagBase int
 	alg     Algorithm
+
+	// starts and counts are reusable integer scratch for the offset and
+	// uniform-count computations, so repeated collectives on one group do
+	// not allocate. A Group is confined to its rank's goroutine, and the
+	// scratch is only live within a single collective call (collectives
+	// that compose — AllReduce, BcastLong — are done with it before the
+	// inner call starts), so a single buffer per kind suffices. The slices
+	// come from the machine's integer arena and go back on Release.
+	starts []int
+	counts []int
 }
 
 // opcode offsets keep concurrent-by-construction collectives on disjoint
@@ -69,24 +79,68 @@ const (
 // traffic from other groups that share rank pairs; callers give distinct
 // bases to logically distinct communicators.
 func NewGroup(r *machine.Rank, members []int, tagBase int, alg Algorithm) *Group {
+	g := &Group{}
+	g.Init(r, members, tagBase, alg)
+	return g
+}
+
+// Init initializes a (possibly stack-allocated) Group in place, with the
+// same semantics as NewGroup. Callers on the simulator's hot path use a
+// Group value plus Init/Release to keep communicator setup allocation-free.
+func (g *Group) Init(r *machine.Rank, members []int, tagBase int, alg Algorithm) {
 	me := -1
-	seen := make(map[int]bool, len(members))
 	for i, m := range members {
 		if m < 0 || m >= r.P() {
 			panic(fmt.Sprintf("collective: member %d out of range", m))
 		}
-		if seen[m] {
-			panic(fmt.Sprintf("collective: duplicate member %d", m))
-		}
-		seen[m] = true
 		if m == r.ID() {
 			me = i
 		}
 	}
+	if dupMember(members) {
+		panic(fmt.Sprintf("collective: duplicate member in %v", members))
+	}
 	if me < 0 {
 		panic(fmt.Sprintf("collective: rank %d not in group %v", r.ID(), members))
 	}
-	return &Group{rank: r, members: members, me: me, tagBase: tagBase, alg: alg}
+	*g = Group{rank: r, members: members, me: me, tagBase: tagBase, alg: alg}
+}
+
+// Release returns the group's pooled scratch to the machine's arena. The
+// group must not be used afterwards. Optional: a group that is never
+// released just lets the garbage collector reclaim its scratch.
+func (g *Group) Release() {
+	if g.starts != nil {
+		g.rank.PutInts(g.starts)
+		g.starts = nil
+	}
+	if g.counts != nil {
+		g.rank.PutInts(g.counts)
+		g.counts = nil
+	}
+}
+
+// dupMember reports whether members contains a duplicate: an allocation-free
+// quadratic scan for small groups, a map for large ones.
+func dupMember(members []int) bool {
+	if len(members) <= 64 {
+		for i, m := range members {
+			for _, n := range members[:i] {
+				if n == m {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	seen := make(map[int]bool, len(members))
+	for _, m := range members {
+		if seen[m] {
+			return true
+		}
+		seen[m] = true
+	}
+	return false
 }
 
 // Size returns the number of group members.
@@ -110,9 +164,22 @@ func (g *Group) recv(peerIdx, op int) []float64 {
 	return g.rank.Recv(g.members[peerIdx], g.tag(op))
 }
 
+// recvInto receives into a caller-owned buffer, recycling the in-flight
+// message buffer; it returns the received word count.
+func (g *Group) recvInto(peerIdx, op int, dst []float64) int {
+	return g.rank.RecvInto(g.members[peerIdx], g.tag(op), dst)
+}
+
 func (g *Group) sendRecv(dstIdx, srcIdx, op int, data []float64) []float64 {
 	g.send(dstIdx, op, data)
 	return g.recv(srcIdx, op)
+}
+
+// sendRecvInto is sendRecv receiving into dst (data and dst may alias; the
+// send serializes first).
+func (g *Group) sendRecvInto(dstIdx, srcIdx, op int, data, dst []float64) int {
+	g.send(dstIdx, op, data)
+	return g.recvInto(srcIdx, op, dst)
 }
 
 // useRecursive reports whether the recursive algorithms should run for this
@@ -133,9 +200,11 @@ func (g *Group) useRecursive() bool {
 	}
 }
 
-// offsets converts per-member counts into start offsets plus total.
-func offsets(counts []int) (starts []int, total int) {
-	starts = make([]int, len(counts))
+// offsets converts per-member counts into start offsets plus total, using
+// the group's reusable scratch. The returned slice is only valid until the
+// next offsets call on this group.
+func (g *Group) offsets(counts []int) (starts []int, total int) {
+	starts = g.ensureInts(&g.starts, len(counts))
 	for i, c := range counts {
 		if c < 0 {
 			panic(fmt.Sprintf("collective: negative count %d", c))
@@ -146,11 +215,25 @@ func offsets(counts []int) (starts []int, total int) {
 	return starts, total
 }
 
-// uniformCounts returns a counts slice of p copies of n.
-func uniformCounts(p, n int) []int {
-	c := make([]int, p)
+// uniformCounts returns a counts slice of p copies of n in the group's
+// reusable scratch; valid until the next uniformCounts call on this group.
+func (g *Group) uniformCounts(p, n int) []int {
+	c := g.ensureInts(&g.counts, p)
 	for i := range c {
 		c[i] = n
 	}
 	return c
+}
+
+// ensureInts resizes *buf to length n, reusing its backing array when it is
+// large enough and drawing replacements from the machine's integer arena.
+func (g *Group) ensureInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		if *buf != nil {
+			g.rank.PutInts(*buf)
+		}
+		*buf = g.rank.GetInts(n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }

@@ -38,8 +38,10 @@ func (g *Group) Bcast(data []float64, root int) []float64 {
 }
 
 // Reduce sums the equal-length vectors of all members onto the member with
-// group index root using a binomial tree. The root returns the sum; other
-// members return nil.
+// group index root using a binomial tree. The root returns the sum (in a
+// buffer the caller owns); other members return nil. Accumulation and
+// receive temporaries come from the machine's buffer arena, so non-root
+// members allocate nothing in steady state.
 func (g *Group) Reduce(data []float64, root int) []float64 {
 	p := len(g.members)
 	if root < 0 || root >= p {
@@ -50,45 +52,64 @@ func (g *Group) Reduce(data []float64, root int) []float64 {
 		copy(out, data)
 		return out
 	}
-	acc := make([]float64, len(data))
+	acc := g.rank.GetBuffer(len(data))
 	copy(acc, data)
+	var tmp []float64
+	putTmp := func() {
+		if tmp != nil {
+			g.rank.PutBuffer(tmp)
+		}
+	}
 	vrank := (g.me - root + p) % p
 	mask := 1
 	for mask < p {
 		if vrank&mask != 0 {
 			dst := ((vrank - mask) + root) % p
 			g.send(g.indexOf(dst), opReduce, acc)
+			g.rank.PutBuffer(acc)
+			putTmp()
 			return nil
 		}
 		if vrank+mask < p {
 			src := ((vrank + mask) + root) % p
-			got := g.recv(g.indexOf(src), opReduce)
-			if len(got) != len(acc) {
-				panic(fmt.Sprintf("collective: Reduce got %d words, want %d", len(got), len(acc)))
+			if tmp == nil {
+				tmp = g.rank.GetBuffer(len(data))
 			}
-			for i, v := range got {
+			got := g.recvInto(g.indexOf(src), opReduce, tmp)
+			if got != len(acc) {
+				panic(fmt.Sprintf("collective: Reduce got %d words, want %d", got, len(acc)))
+			}
+			for i, v := range tmp[:got] {
 				acc[i] += v
 			}
-			g.rank.Compute(float64(len(got)))
+			g.rank.Compute(float64(got))
 		}
 		mask <<= 1
 	}
+	putTmp()
 	return acc
 }
 
 // AllReduce sums equal-length vectors across members, every member
-// receiving the full result. It composes ReduceScatterV and AllGatherV
-// over a balanced split, which is bandwidth-optimal at 2(1 − 1/p)·w.
+// receiving the full result. It composes ReduceScatterVInto and
+// AllGatherVInto over a balanced split, which is bandwidth-optimal at
+// 2(1 − 1/p)·w; intermediates live in pooled buffers, so the only heap
+// allocation is the returned result.
 func (g *Group) AllReduce(data []float64) []float64 {
 	p := len(g.members)
+	out := make([]float64, len(data))
 	if p == 1 {
-		out := make([]float64, len(data))
 		copy(out, data)
 		return out
 	}
-	counts := balancedCounts(len(data), p)
-	mine := g.ReduceScatterV(data, counts)
-	return g.AllGatherV(mine, counts)
+	counts := g.balancedCounts(len(data), p)
+	mine := g.rank.GetBuffer(counts[g.me])
+	scratch := g.rank.GetBuffer(len(data))
+	g.ReduceScatterVInto(data, counts, mine, scratch)
+	g.rank.PutBuffer(scratch)
+	g.AllGatherVInto(mine, counts, out)
+	g.rank.PutBuffer(mine)
+	return out
 }
 
 // AllToAll performs a personalized exchange: blocks[i] is sent to member i,
@@ -185,9 +206,11 @@ func (g *Group) Barrier() {
 // virtual ranks.
 func (g *Group) indexOf(groupIdx int) int { return groupIdx }
 
-// balancedCounts splits total into p nearly equal integer parts.
-func balancedCounts(total, p int) []int {
-	counts := make([]int, p)
+// balancedCounts splits total into p nearly equal integer parts in the
+// group's reusable counts scratch (valid until the next counts-producing
+// call on this group).
+func (g *Group) balancedCounts(total, p int) []int {
+	counts := g.ensureInts(&g.counts, p)
 	q, r := total/p, total%p
 	for i := range counts {
 		counts[i] = q

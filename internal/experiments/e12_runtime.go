@@ -26,12 +26,13 @@ func RuntimeModel(d core.Dims, cfg machine.Config, ps []int) (Artifact, error) {
 		fmt.Sprintf("Runtime model vs simulation for %v (α=%g β=%g γ=%g)", d, cfg.Alpha, cfg.Beta, cfg.Gamma),
 		"P", "grid", "predicted", "simulated", "rel err", "speedup", "efficiency", "compute share",
 	)
-	for _, p := range ps {
+	rows, err := Map(len(ps), func(i int) ([]string, error) {
+		p := ps[i]
 		g := grid.Optimal(d, p)
 		pred := model.Alg1Time(d, g, cfg, collective.Auto)
 		res, err := algs.Alg1(a, b, p, algs.Opts{Config: cfg, Grid: g})
 		if err != nil {
-			return Artifact{}, fmt.Errorf("runtime P=%d: %w", p, err)
+			return nil, fmt.Errorf("runtime P=%d: %w", p, err)
 		}
 		sim := res.Stats.CriticalPath
 		rel := 0.0
@@ -46,7 +47,7 @@ func RuntimeModel(d core.Dims, cfg machine.Config, ps []int) (Artifact, error) {
 		if pred.Total() > 0 {
 			share = pred.Compute / pred.Total()
 		}
-		tb.AddRow(
+		return []string{
 			fmt.Sprintf("%d", p),
 			g.String(),
 			report.Num(pred.Total()),
@@ -55,7 +56,13 @@ func RuntimeModel(d core.Dims, cfg machine.Config, ps []int) (Artifact, error) {
 			fmt.Sprintf("%.1f", speedup),
 			fmt.Sprintf("%.3f", speedup/float64(p)),
 			fmt.Sprintf("%.3f", share),
-		)
+		}, nil
+	})
+	if err != nil {
+		return Artifact{}, err
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	note := fmt.Sprintf("\ncommunication-bound threshold P* = (γ/3β)³·mnk = %s\n",
 		report.Num(model.CommBoundProcessors(d, cfg)))

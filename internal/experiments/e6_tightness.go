@@ -32,14 +32,15 @@ func Tightness() (Artifact, error) {
 		fmt.Sprintf("Algorithm 1 vs Theorem 3 on %v (words per processor)", d),
 		"P", "case", "grid", "measured", "eq.(3)", "Theorem 3 bound", "measured/bound", "correct",
 	)
-	for _, p := range TightnessPoints {
+	rows, err := Map(len(TightnessPoints), func(i int) ([]string, error) {
+		p := TightnessPoints[i]
 		g, err := grid.CaseGrid(d, p)
 		if err != nil {
-			return Artifact{}, fmt.Errorf("tightness P=%d: %w", p, err)
+			return nil, fmt.Errorf("tightness P=%d: %w", p, err)
 		}
 		res, err := algs.Alg1(a, b, p, algs.Opts{Config: machine.BandwidthOnly(), Grid: g})
 		if err != nil {
-			return Artifact{}, fmt.Errorf("tightness P=%d: %w", p, err)
+			return nil, fmt.Errorf("tightness P=%d: %w", p, err)
 		}
 		bound := core.LowerBound(d, p)
 		ratio := 1.0
@@ -47,7 +48,13 @@ func Tightness() (Artifact, error) {
 			ratio = res.CommCost() / bound
 		}
 		ok := res.C.MaxAbsDiff(want) <= 1e-9*float64(d.N2)
-		tb.AddRow(
+		if !ok {
+			return nil, fmt.Errorf("tightness P=%d: wrong product", p)
+		}
+		if bound > 0 && math.Abs(res.CommCost()-bound) > 1e-9*(1+bound) {
+			return nil, fmt.Errorf("tightness P=%d: measured %v != bound %v", p, res.CommCost(), bound)
+		}
+		return []string{
 			fmt.Sprintf("%d", p),
 			core.CaseOf(d, p).String(),
 			g.String(),
@@ -56,13 +63,13 @@ func Tightness() (Artifact, error) {
 			report.Num(bound),
 			fmt.Sprintf("%.6f", ratio),
 			fmt.Sprintf("%v", ok),
-		)
-		if !ok {
-			return Artifact{}, fmt.Errorf("tightness P=%d: wrong product", p)
-		}
-		if bound > 0 && math.Abs(res.CommCost()-bound) > 1e-9*(1+bound) {
-			return Artifact{}, fmt.Errorf("tightness P=%d: measured %v != bound %v", p, res.CommCost(), bound)
-		}
+		}, nil
+	})
+	if err != nil {
+		return Artifact{}, err
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	return Artifact{
 		ID:    "E6-tightness",

@@ -26,14 +26,16 @@ func AlgorithmComparison(n, p int) (Artifact, error) {
 		fmt.Sprintf("Algorithms on %v, P = %d (bound = %s words/proc)", d, p, report.Num(bound)),
 		"algorithm", "grid", "words/proc", "ratio to bound", "messages/proc", "peak memory", "correct",
 	)
-	for _, e := range algs.Registry() {
+	entries := algs.Registry()
+	rows, err := Map(len(entries), func(i int) ([]string, error) {
+		e := entries[i]
 		res, err := e.Run(a, b, p, algs.Opts{Config: machine.BandwidthOnly()})
 		if err != nil {
-			return Artifact{}, fmt.Errorf("%s: %w", e.Name, err)
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
 		}
 		ok := res.C.MaxAbsDiff(want) <= 1e-9*float64(n)
 		if !ok {
-			return Artifact{}, fmt.Errorf("%s: wrong product", e.Name)
+			return nil, fmt.Errorf("%s: wrong product", e.Name)
 		}
 		maxMsgs := 0
 		for _, rs := range res.Stats.Ranks {
@@ -41,7 +43,7 @@ func AlgorithmComparison(n, p int) (Artifact, error) {
 				maxMsgs = rs.MsgsRecv
 			}
 		}
-		tb.AddRow(
+		return []string{
 			e.Name,
 			res.Grid.String(),
 			report.Num(res.CommCost()),
@@ -49,7 +51,13 @@ func AlgorithmComparison(n, p int) (Artifact, error) {
 			fmt.Sprintf("%d", maxMsgs),
 			report.Num(res.Stats.MaxPeakMemory),
 			fmt.Sprintf("%v", ok),
-		)
+		}, nil
+	})
+	if err != nil {
+		return Artifact{}, err
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	return Artifact{
 		ID:    "E7-algorithms",
@@ -71,20 +79,21 @@ func StrongScaling(d core.Dims, ps []int) (Artifact, error) {
 		fmt.Sprintf("Strong scaling of Algorithm 1 on %v", d),
 		"P", "case", "grid", "words/proc", "bound", "ratio", "critical path (words)",
 	)
-	for _, p := range ps {
+	rows, err := Map(len(ps), func(i int) ([]string, error) {
+		p := ps[i]
 		res, err := algs.Alg1(a, b, p, algs.Opts{Config: machine.BandwidthOnly()})
 		if err != nil {
-			return Artifact{}, fmt.Errorf("P=%d: %w", p, err)
+			return nil, fmt.Errorf("P=%d: %w", p, err)
 		}
 		if res.C.MaxAbsDiff(want) > 1e-9*float64(d.N2) {
-			return Artifact{}, fmt.Errorf("P=%d: wrong product", p)
+			return nil, fmt.Errorf("P=%d: wrong product", p)
 		}
 		bound := core.LowerBound(d, p)
 		ratio := 1.0
 		if bound > 0 {
 			ratio = res.CommCost() / bound
 		}
-		tb.AddRow(
+		return []string{
 			fmt.Sprintf("%d", p),
 			core.CaseOf(d, p).String(),
 			res.Grid.String(),
@@ -92,7 +101,13 @@ func StrongScaling(d core.Dims, ps []int) (Artifact, error) {
 			report.Num(bound),
 			fmt.Sprintf("%.3f", ratio),
 			report.Num(res.Stats.CriticalPath),
-		)
+		}, nil
+	})
+	if err != nil {
+		return Artifact{}, err
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	return Artifact{
 		ID:    "E7b-strong-scaling",

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCount is the configured fan-out width for Map; 0 means "use
+// runtime.GOMAXPROCS(0) at call time".
+var workerCount atomic.Int32
+
+// SetWorkers sets how many goroutines Map uses to evaluate sweep points.
+// n ≤ 0 restores the default (runtime.GOMAXPROCS(0)). The cmd/sweep and
+// cmd/paper binaries expose this as their -workers flag.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerCount.Store(int32(n))
+}
+
+// Workers reports the fan-out width Map will use.
+func Workers() int {
+	if n := int(workerCount.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map evaluates fn(0), …, fn(n-1) across Workers() goroutines and returns
+// the results in index order, so output built from them is byte-identical
+// regardless of the worker count. fn must therefore be safe to call
+// concurrently (the experiment sweeps qualify: every point builds its own
+// simulated World and only reads the shared input matrices).
+//
+// If any call fails, Map returns the error of the lowest failing index —
+// again independent of scheduling. With one worker the points run strictly
+// in order and evaluation stops at the first error.
+func Map[T any](n int, fn func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

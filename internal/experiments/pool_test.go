@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestMapOrdering checks that results come back in index order regardless
+// of worker count, including with far more points than workers.
+func TestMapOrdering(t *testing.T) {
+	defer SetWorkers(0)
+	for _, w := range []int{1, 2, 8, 64} {
+		SetWorkers(w)
+		out, err := Map(100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapFirstErrorByIndex checks the error returned is that of the lowest
+// failing index, independent of scheduling.
+func TestMapFirstErrorByIndex(t *testing.T) {
+	defer SetWorkers(0)
+	for _, w := range []int{1, 8} {
+		SetWorkers(w)
+		_, err := Map(50, func(i int) (int, error) {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return 0, fmt.Errorf("point %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "point 3" {
+			t.Fatalf("workers=%d: err = %v, want point 3", w, err)
+		}
+	}
+}
+
+// TestMapZeroPoints checks the degenerate sweep.
+func TestMapZeroPoints(t *testing.T) {
+	out, err := Map(0, func(int) (int, error) { return 0, errors.New("never called") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(0) = %v, %v", out, err)
+	}
+}
+
+// TestParallelSweepByteIdentical runs simulation-backed experiments with
+// the sequential driver and with a wide worker pool and requires the
+// rendered artifacts to match byte for byte — the determinism contract the
+// -workers flag advertises. Under -race this also exercises concurrent
+// Worlds sharing the global buffer arena.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	defer SetWorkers(0)
+	run := func(w int) []Artifact {
+		SetWorkers(w)
+		tight, err := Tightness()
+		if err != nil {
+			t.Fatalf("workers=%d: Tightness: %v", w, err)
+		}
+		algs, err := AlgorithmComparison(DefaultCompareN, DefaultCompareP)
+		if err != nil {
+			t.Fatalf("workers=%d: AlgorithmComparison: %v", w, err)
+		}
+		scale, err := StrongScaling(DefaultRectDims, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			t.Fatalf("workers=%d: StrongScaling: %v", w, err)
+		}
+		return []Artifact{tight, algs, scale}
+	}
+	seq := run(1)
+	par := run(8)
+	for i := range seq {
+		if seq[i].Text != par[i].Text || seq[i].CSV != par[i].CSV {
+			t.Errorf("%s: parallel output differs from sequential", seq[i].ID)
+		}
+	}
+}

@@ -76,28 +76,45 @@ func (a Axis) String() string { return [...]string{"axis1", "axis2", "axis3"}[a]
 // Axis3 fiber, the B All-Gather on the Axis1 fiber, and the C
 // Reduce-Scatter on the Axis2 fiber.
 func (g Grid) Fiber(rank int, axis Axis) []int {
+	return g.FiberInto(make([]int, g.FiberLen(axis)), rank, axis)
+}
+
+// FiberLen returns the number of ranks in a fiber along the axis.
+func (g Grid) FiberLen(axis Axis) int {
+	switch axis {
+	case Axis1:
+		return g.P1
+	case Axis2:
+		return g.P2
+	case Axis3:
+		return g.P3
+	}
+	panic(fmt.Sprintf("grid: unknown axis %d", axis))
+}
+
+// FiberInto is Fiber writing into dst, which must hold exactly
+// FiberLen(axis) entries; it returns dst. The allocation-free variant for
+// callers that recycle scratch.
+func (g Grid) FiberInto(dst []int, rank int, axis Axis) []int {
+	if len(dst) != g.FiberLen(axis) {
+		panic(fmt.Sprintf("grid: FiberInto got %d entries for %v of %v", len(dst), axis, g))
+	}
 	i1, i2, i3 := g.Coords(rank)
 	switch axis {
 	case Axis1:
-		out := make([]int, g.P1)
 		for v := 0; v < g.P1; v++ {
-			out[v] = g.Rank(v, i2, i3)
+			dst[v] = g.Rank(v, i2, i3)
 		}
-		return out
 	case Axis2:
-		out := make([]int, g.P2)
 		for v := 0; v < g.P2; v++ {
-			out[v] = g.Rank(i1, v, i3)
+			dst[v] = g.Rank(i1, v, i3)
 		}
-		return out
 	case Axis3:
-		out := make([]int, g.P3)
 		for v := 0; v < g.P3; v++ {
-			out[v] = g.Rank(i1, i2, v)
+			dst[v] = g.Rank(i1, i2, v)
 		}
-		return out
 	}
-	panic(fmt.Sprintf("grid: unknown axis %d", axis))
+	return dst
 }
 
 // CommCost evaluates eq. (3) of the paper: the per-processor communication

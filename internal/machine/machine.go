@@ -43,7 +43,9 @@ type Config struct {
 // convenient when comparing against bandwidth lower bounds.
 func BandwidthOnly() Config { return Config{Alpha: 0, Beta: 1, Gamma: 0} }
 
-// message is one in-flight point-to-point message.
+// message is one in-flight point-to-point message. Structs are pooled in
+// the global arena and queues link them intrusively through next, so the
+// steady-state send path allocates nothing.
 type message struct {
 	src, dst int
 	tag      int
@@ -51,6 +53,13 @@ type message struct {
 	// sendClock is the sender's simulated time when the send was posted;
 	// the message is available at the receiver at sendClock + α + β·w.
 	sendClock float64
+	next      *message
+}
+
+// msgQueue is a FIFO of in-flight messages for one (src, dst) pair, stored
+// by value in the queues map so enqueue/dequeue never allocate.
+type msgQueue struct {
+	head, tail *message
 }
 
 // World is a simulated machine of P ranks.
@@ -60,7 +69,7 @@ type World struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queues   map[pairKey][]*message
+	queues   map[pairKey]msgQueue
 	inflight int
 	blocked  int
 	done     int
@@ -81,7 +90,7 @@ type World struct {
 	trace   *Trace
 	traffic *TrafficMatrix
 
-	ranks []*Rank
+	ranks []Rank
 }
 
 type pairKey struct{ src, dst int }
@@ -94,12 +103,14 @@ func NewWorld(p int, cfg Config) *World {
 	w := &World{
 		p:      p,
 		cfg:    cfg,
-		queues: make(map[pairKey][]*message),
+		queues: make(map[pairKey]msgQueue),
 	}
 	w.cond = sync.NewCond(&w.mu)
-	w.ranks = make([]*Rank, p)
+	// Ranks are allocated in one block; per-phase stat maps are created
+	// lazily on first use (see Rank.addPhase).
+	w.ranks = make([]Rank, p)
 	for i := range w.ranks {
-		w.ranks[i] = &Rank{id: i, world: w, stats: RankStats{PhaseRecvWords: map[string]float64{}, PhaseSentWords: map[string]float64{}}}
+		w.ranks[i] = Rank{id: i, world: w}
 	}
 	return w
 }
@@ -140,7 +151,7 @@ func (w *World) Run(body func(*Rank)) (err error) {
 				w.cond.Broadcast()
 			}()
 			body(r)
-		}(w.ranks[i])
+		}(&w.ranks[i])
 	}
 	wg.Wait()
 	for _, e := range errs {
@@ -167,7 +178,14 @@ func (w *World) fail(msg string) {
 func (w *World) send(m *message) {
 	w.mu.Lock()
 	key := pairKey{m.src, m.dst}
-	w.queues[key] = append(w.queues[key], m)
+	q := w.queues[key]
+	if q.tail == nil {
+		q.head, q.tail = m, m
+	} else {
+		q.tail.next = m
+		q.tail = m
+	}
+	w.queues[key] = q
 	w.inflight++
 	w.mu.Unlock()
 	w.cond.Broadcast()
@@ -184,12 +202,23 @@ func (w *World) recv(dst, src, tag int) *message {
 			panic("machine: aborted: " + w.failMsg)
 		}
 		q := w.queues[key]
-		for i, m := range q {
-			if m.tag == tag {
-				w.queues[key] = append(q[:i:i], q[i+1:]...)
-				w.inflight--
-				return m
+		var prev *message
+		for m := q.head; m != nil; prev, m = m, m.next {
+			if m.tag != tag {
+				continue
 			}
+			if prev == nil {
+				q.head = m.next
+			} else {
+				prev.next = m.next
+			}
+			if q.tail == m {
+				q.tail = prev
+			}
+			w.queues[key] = q
+			m.next = nil
+			w.inflight--
+			return m
 		}
 		w.blocked++
 		if w.deadlockedLocked() {
@@ -220,7 +249,8 @@ func (w *World) deadlockedLocked() bool {
 // Stats aggregates the per-rank statistics after Run has completed.
 func (w *World) Stats() WorldStats {
 	ws := WorldStats{Ranks: make([]RankStats, w.p)}
-	for i, r := range w.ranks {
+	for i := range w.ranks {
+		r := &w.ranks[i]
 		ws.Ranks[i] = r.stats
 		ws.Ranks[i].FinalClock = r.clock
 		if r.clock > ws.CriticalPath {

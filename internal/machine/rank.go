@@ -30,7 +30,11 @@ func (r *Rank) SetPhase(name string) { r.phase = name }
 // Send posts a message of data to rank dst with the given tag. Sends are
 // eager (non-blocking): the sender's clock advances by the link-occupancy
 // cost α + β·w and the message becomes available to the receiver at that
-// time. The data is copied, simulating serialization into the network.
+// time. The data is copied, simulating serialization into the network; the
+// copy lands in a pooled buffer from the world's arena, so the caller keeps
+// ownership of data and steady-state sends allocate nothing. The in-flight
+// buffer is recycled when the receiver uses RecvInto (or releases it with
+// PutBuffer after a plain Recv).
 func (r *Rank) Send(dst, tag int, data []float64) {
 	if dst < 0 || dst >= r.world.p {
 		panic(fmt.Sprintf("machine: send to rank %d of %d", dst, r.world.p))
@@ -39,7 +43,7 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 		panic("machine: self-send; keep local data local")
 	}
 	w := float64(len(data))
-	cp := make([]float64, len(data))
+	cp := globalArena.get(len(data))
 	copy(cp, data)
 	start := r.clock
 	r.clock += r.world.cfg.Alpha + r.world.cfg.Beta*w
@@ -52,15 +56,25 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 	r.stats.WordsSent += w
 	r.stats.MsgsSent++
 	if r.phase != "" {
-		r.stats.PhaseSentWords[r.phase] += w
+		addPhase(&r.stats.PhaseSentWords, r.phase, w)
 	}
-	r.world.send(&message{src: r.id, dst: dst, tag: tag, data: cp, sendClock: r.clock})
+	m := globalArena.getMsg()
+	m.src, m.dst, m.tag, m.data, m.sendClock = r.id, dst, tag, cp, r.clock
+	r.world.send(m)
 }
 
-// Recv blocks until a message from src with the given tag arrives and
-// returns its payload. The receiver's clock advances to the message's
-// arrival time (send completion) if that is later than its current time.
-func (r *Rank) Recv(src, tag int) []float64 {
+// addPhase accumulates words under a phase label, creating the map on first
+// use so phase-free runs never allocate it.
+func addPhase(m *map[string]float64, phase string, w float64) {
+	if *m == nil {
+		*m = make(map[string]float64)
+	}
+	(*m)[phase] += w
+}
+
+// recvMsg blocks for a message from src with the given tag and performs the
+// shared receive bookkeeping (clock advance, tracing, statistics).
+func (r *Rank) recvMsg(src, tag int) *message {
 	if src < 0 || src >= r.world.p {
 		panic(fmt.Sprintf("machine: recv from rank %d of %d", src, r.world.p))
 	}
@@ -79,9 +93,40 @@ func (r *Rank) Recv(src, tag int) []float64 {
 	r.stats.WordsRecv += w
 	r.stats.MsgsRecv++
 	if r.phase != "" {
-		r.stats.PhaseRecvWords[r.phase] += w
+		addPhase(&r.stats.PhaseRecvWords, r.phase, w)
 	}
-	return m.data
+	return m
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. The receiver's clock advances to the message's
+// arrival time (send completion) if that is later than its current time.
+// Ownership of the returned buffer transfers to the caller; it is never
+// recycled behind the caller's back, but callers that finish with it may
+// hand it back with PutBuffer. Callers that only need the payload copied
+// into a buffer they already own should prefer RecvInto, which recycles
+// the in-flight buffer immediately.
+func (r *Rank) Recv(src, tag int) []float64 {
+	m := r.recvMsg(src, tag)
+	data := m.data
+	globalArena.putMsg(m)
+	return data
+}
+
+// RecvInto receives like Recv but copies the payload into dst and recycles
+// the in-flight buffer, returning the number of words received. dst must be
+// at least as long as the payload; only the returned prefix is written. The
+// simulated cost, clocks, and statistics are identical to Recv.
+func (r *Rank) RecvInto(src, tag int, dst []float64) int {
+	m := r.recvMsg(src, tag)
+	n := len(m.data)
+	if n > len(dst) {
+		panic(fmt.Sprintf("machine: RecvInto buffer holds %d words, message has %d", len(dst), n))
+	}
+	copy(dst[:n], m.data)
+	globalArena.put(m.data)
+	globalArena.putMsg(m)
+	return n
 }
 
 // SendRecv posts a send to dst and then receives from src, modelling the
@@ -89,6 +134,15 @@ func (r *Rank) Recv(src, tag int) []float64 {
 func (r *Rank) SendRecv(dst, src, tag int, data []float64) []float64 {
 	r.Send(dst, tag, data)
 	return r.Recv(src, tag)
+}
+
+// SendRecvInto is SendRecv with the received payload copied into dst and
+// the in-flight buffer recycled (see RecvInto). data and dst may alias:
+// Send serializes data into a pooled buffer before the receive overwrites
+// dst.
+func (r *Rank) SendRecvInto(dst, src, tag int, data, into []float64) int {
+	r.Send(dst, tag, data)
+	return r.RecvInto(src, tag, into)
 }
 
 // Compute advances the rank's clock by γ·flops and records the flop count.

@@ -38,6 +38,19 @@ func New(r, c int) *Dense {
 	return &Dense{rows: r, cols: c, stride: c, data: make([]float64, r*c)}
 }
 
+// Wrap returns an r×c matrix value backed directly by data (no copy), which
+// must hold exactly r*c elements in row-major order. The matrix aliases
+// data: writes through either are visible in both, and the caller must keep
+// data alive (and unrecycled) for the matrix's lifetime. Because Wrap
+// returns a value rather than a pointer, hot paths can wrap pooled buffers
+// without heap allocation.
+func Wrap(r, c int, data []float64) Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("matrix: Wrap got %d elements for %dx%d", len(data), r, c))
+	}
+	return Dense{rows: r, cols: c, stride: c, data: data}
+}
+
 // NewFromSlice returns an r×c matrix backed by a copy of data, which must
 // have exactly r*c elements in row-major order.
 func NewFromSlice(r, c int, data []float64) *Dense {
@@ -138,6 +151,20 @@ func (m *Dense) Pack() []float64 {
 		out = append(out, m.Row(i)...)
 	}
 	return out
+}
+
+// PackInto writes the elements of m in row-major order into dst, which
+// must hold exactly Rows×Cols elements, and returns dst. It is the
+// allocation-free variant of Pack for callers that recycle serialization
+// buffers.
+func (m *Dense) PackInto(dst []float64) []float64 {
+	if len(dst) != m.rows*m.cols {
+		panic(fmt.Sprintf("matrix: PackInto got %d elements for %dx%d", len(dst), m.rows, m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		copy(dst[i*m.cols:(i+1)*m.cols], m.Row(i))
+	}
+	return dst
 }
 
 // Unpack fills m from a row-major slice produced by Pack. The slice must

@@ -87,6 +87,29 @@ func MulAddParallel(c, a, b *Dense, workers int) {
 	wg.Wait()
 }
 
+// MulAddVal is MulAdd on matrix values (typically Wrap-ped pooled buffers):
+// because the sequential path never lets the headers reach a goroutine
+// closure, escape analysis keeps them on the caller's stack. workers > 1
+// delegates to the parallel kernel, paying the three header allocations
+// only on that branch.
+func MulAddVal(c, a, b Dense, workers int) {
+	if workers > 1 {
+		mulAddParallelCopy(c, a, b, workers)
+		return
+	}
+	checkMulShapes(&c, &a, &b)
+	mulAddRange(&c, &a, &b, 0, a.rows)
+}
+
+// mulAddParallelCopy hands fresh header copies to MulAddParallel. It must
+// not be inlined: inlining would merge its escaping copies into MulAddVal's
+// frame and force the sequential path's headers onto the heap too.
+//
+//go:noinline
+func mulAddParallelCopy(c, a, b Dense, workers int) {
+	MulAddParallel(&c, &a, &b, workers)
+}
+
 // MulNaive is the unblocked triple loop, kept as an independent oracle for
 // testing the optimized kernels.
 func MulNaive(a, b *Dense) *Dense {

@@ -67,6 +67,17 @@ func BlockOf(m *Dense, pr, pc, i, j int) *Dense {
 	return m.View(r0, c0, PartSize(m.Rows(), pr, i), PartSize(m.Cols(), pc, j)).Clone()
 }
 
+// BlockView returns block (i, j) of the balanced pr×pc partition of m as a
+// view value: it aliases m's storage without copying or allocating. The
+// allocation-free counterpart of BlockOf for read-only block access.
+func BlockView(m *Dense, pr, pc, i, j int) Dense {
+	r0 := PartStart(m.Rows(), pr, i)
+	c0 := PartStart(m.Cols(), pc, j)
+	r := PartSize(m.Rows(), pr, i)
+	c := PartSize(m.Cols(), pc, j)
+	return Dense{rows: r, cols: c, stride: m.stride, data: m.data[r0*m.stride+c0:]}
+}
+
 // SetBlock copies block into position (i, j) of the pr×pc balanced 2D block
 // partition of m.
 func SetBlock(m *Dense, pr, pc, i, j int, block *Dense) {
