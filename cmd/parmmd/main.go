@@ -1,0 +1,84 @@
+// Command parmmd serves the paper's decision data over HTTP: Theorem 3
+// lower bounds, optimal processor grids, closed-form runtime predictions,
+// and asynchronous simulated runs, as a versioned JSON API.
+//
+//	parmmd -addr :8080
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/lowerbound \
+//	    -d '{"n1":9600,"n2":2400,"n3":600,"p":512}'
+//
+// Endpoints: POST /v1/lowerbound (single and batch), POST /v1/grid,
+// POST /v1/predict, POST /v1/simulate (async; poll GET /v1/jobs/{id},
+// cancel with DELETE), GET /healthz, GET /debug/vars. Expensive pure
+// computations are memoized in a sharded LRU; simulations run on a bounded
+// job pool with per-job deadlines. SIGINT/SIGTERM shut down gracefully:
+// the listener closes, then in-flight jobs drain (up to -drain), then
+// whatever remains is cancelled through its context.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache", 4096, "memo cache capacity (entries)")
+	workers := flag.Int("workers", 0, "job pool width (0: GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "job queue depth (full queue answers 503)")
+	jobTimeout := flag.Duration("job-timeout", time.Minute, "per-job deadline (negative: none)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
+	maxFlops := flag.Float64("max-sim-flops", 1e9, "largest n1·n2·n3 a simulation may request")
+	maxProcs := flag.Int("max-sim-procs", 4096, "largest P a simulation may request")
+	flag.Parse()
+
+	experiments.SetWorkers(*workers)
+	srv := service.New(service.Config{
+		CacheSize:   *cacheSize,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		JobTimeout:  *jobTimeout,
+		MaxSimFlops: *maxFlops,
+		MaxSimProcs: *maxProcs,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "parmmd: listening on %s\n", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "parmmd: %v, shutting down\n", sig)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "parmmd: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Stop the listener first so no new jobs arrive, then drain the pool.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "parmmd: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "parmmd: job drain: %v\n", err)
+	}
+}

@@ -49,10 +49,10 @@ func run3D(name string, a, b *matrix.Dense, p int, opts Opts, reduceScatter bool
 		return nil, err
 	}
 	if g.Size() != p {
-		return nil, fmt.Errorf("algs: grid %v has %d processors, want %d", g, g.Size(), p)
+		return nil, fmt.Errorf("algs: grid %v has %d processors, want %d: %w", g, g.Size(), p, core.ErrGridMismatch)
 	}
 	if g.P1 > d.N1 || g.P2 > d.N2 || g.P3 > d.N3 {
-		return nil, fmt.Errorf("algs: grid %v exceeds dims %v", g, d)
+		return nil, fmt.Errorf("algs: grid %v exceeds dims %v: %w", g, d, core.ErrGridMismatch)
 	}
 
 	w, tr := newWorld(p, opts)

@@ -58,6 +58,30 @@ type Opts struct {
 	Traffic bool
 }
 
+// Validate reports whether the options are self-consistent, before any
+// algorithm-specific requirements: worker and layer counts must be
+// non-negative, the collective family must be a known value, and a non-zero
+// grid must have positive extents. Failures wrap core.ErrBadOpts (or
+// core.ErrGridMismatch for the grid), so callers can dispatch with
+// errors.Is.
+func (o Opts) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("algs: negative Workers %d: %w", o.Workers, core.ErrBadOpts)
+	}
+	if o.Layers < 0 {
+		return fmt.Errorf("algs: negative Layers %d: %w", o.Layers, core.ErrBadOpts)
+	}
+	switch o.Collective {
+	case collective.Auto, collective.Ring, collective.Recursive:
+	default:
+		return fmt.Errorf("algs: unknown collective family %d: %w", o.Collective, core.ErrBadOpts)
+	}
+	if o.Grid != (grid.Grid{}) {
+		return o.Grid.Validate()
+	}
+	return nil
+}
+
 // newWorld builds the simulated machine for a run, honoring the tracing
 // option.
 func newWorld(p int, opts Opts) (*machine.World, *machine.Trace) {
@@ -93,7 +117,7 @@ func (r *Result) CommCost() float64 { return r.Stats.CommCost() }
 // dimsOf derives the problem shape from the input matrices.
 func dimsOf(a, b *matrix.Dense) (core.Dims, error) {
 	if a.Cols() != b.Rows() {
-		return core.Dims{}, fmt.Errorf("algs: inner dimensions %d and %d disagree", a.Cols(), b.Rows())
+		return core.Dims{}, fmt.Errorf("algs: inner dimensions %d and %d disagree: %w", a.Cols(), b.Rows(), core.ErrBadDims)
 	}
 	return core.NewDims(a.Rows(), a.Cols(), b.Cols()), nil
 }

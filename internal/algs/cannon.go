@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/machine"
 	"repro/internal/matrix"
@@ -21,10 +22,10 @@ func Cannon(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 	}
 	q := int(math.Round(math.Sqrt(float64(p))))
 	if q*q != p {
-		return nil, fmt.Errorf("algs: Cannon needs a square processor count, got %d", p)
+		return nil, fmt.Errorf("algs: Cannon needs a square processor count, got %d: %w", p, core.ErrBadProcessorCount)
 	}
 	if d.N1%q != 0 || d.N2%q != 0 || d.N3%q != 0 {
-		return nil, fmt.Errorf("algs: Cannon needs dims %v divisible by q=%d", d, q)
+		return nil, fmt.Errorf("algs: Cannon needs dims %v divisible by q=%d: %w", d, q, core.ErrGridMismatch)
 	}
 
 	g := grid.Grid{P1: q, P2: 1, P3: q}

@@ -25,7 +25,7 @@ func CARMA(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 		return nil, err
 	}
 	if p&(p-1) != 0 {
-		return nil, fmt.Errorf("algs: CARMA needs a power-of-two processor count, got %d", p)
+		return nil, fmt.Errorf("algs: CARMA needs a power-of-two processor count, got %d: %w", p, core.ErrBadProcessorCount)
 	}
 	g, err := CARMAGrid(d, p)
 	if err != nil {
@@ -45,7 +45,7 @@ func CARMA(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 // a deterministic depth-first implementation).
 func CARMAGrid(d core.Dims, p int) (grid.Grid, error) {
 	if p <= 0 || p&(p-1) != 0 {
-		return grid.Grid{}, fmt.Errorf("algs: CARMAGrid needs a power of two, got %d", p)
+		return grid.Grid{}, fmt.Errorf("algs: CARMAGrid needs a power of two, got %d: %w", p, core.ErrBadProcessorCount)
 	}
 	dims := [3]float64{float64(d.N1), float64(d.N2), float64(d.N3)}
 	splits := [3]int{1, 1, 1}
@@ -61,7 +61,7 @@ func CARMAGrid(d core.Dims, p int) (grid.Grid, error) {
 	}
 	g := grid.Grid{P1: splits[0], P2: splits[1], P3: splits[2]}
 	if g.P1 > d.N1 || g.P2 > d.N2 || g.P3 > d.N3 {
-		return grid.Grid{}, fmt.Errorf("algs: CARMA grid %v exceeds dims %v", g, d)
+		return grid.Grid{}, fmt.Errorf("algs: CARMA grid %v exceeds dims %v: %w", g, d, core.ErrGridMismatch)
 	}
 	return g, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/collective"
+	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/machine"
 	"repro/internal/matrix"
@@ -27,7 +28,7 @@ func Alg1LowMem(a, b *matrix.Dense, p, chunks int, opts Opts) (*Result, error) {
 		return nil, err
 	}
 	if chunks < 1 {
-		return nil, fmt.Errorf("algs: Alg1LowMem needs chunks ≥ 1, got %d", chunks)
+		return nil, fmt.Errorf("algs: Alg1LowMem needs chunks ≥ 1, got %d: %w", chunks, core.ErrBadOpts)
 	}
 	g := opts.Grid
 	if g == (grid.Grid{}) {
@@ -37,10 +38,10 @@ func Alg1LowMem(a, b *matrix.Dense, p, chunks int, opts Opts) (*Result, error) {
 		return nil, err
 	}
 	if g.Size() != p {
-		return nil, fmt.Errorf("algs: grid %v has %d processors, want %d", g, g.Size(), p)
+		return nil, fmt.Errorf("algs: grid %v has %d processors, want %d: %w", g, g.Size(), p, core.ErrGridMismatch)
 	}
 	if g.P1 > d.N1 || g.P2 > d.N2 || g.P3 > d.N3 {
-		return nil, fmt.Errorf("algs: grid %v exceeds dims %v", g, d)
+		return nil, fmt.Errorf("algs: grid %v exceeds dims %v: %w", g, d, core.ErrGridMismatch)
 	}
 
 	w, tr := newWorld(p, opts)

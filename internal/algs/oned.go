@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/collective"
+	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/machine"
 	"repro/internal/matrix"
@@ -21,7 +22,7 @@ func OneD(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 		return nil, err
 	}
 	if p > d.N1 {
-		return nil, fmt.Errorf("algs: OneD needs P ≤ n1, got P=%d n1=%d", p, d.N1)
+		return nil, fmt.Errorf("algs: OneD needs P ≤ n1, got P=%d n1=%d: %w", p, d.N1, core.ErrBadProcessorCount)
 	}
 
 	w, tr := newWorld(p, opts)

@@ -1,6 +1,12 @@
 package algs
 
-import "repro/internal/matrix"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
 
 // Runner is the common signature of every parallel algorithm in this
 // package.
@@ -32,4 +38,15 @@ func Registry() []Entry {
 		{Name: "Cannon", Run: Cannon},
 		{Name: "TwoPointFiveD", Run: TwoPointFiveD},
 	}
+}
+
+// Lookup resolves a registered algorithm by name (case-insensitive). An
+// unknown name wraps core.ErrUnsupportedAlg.
+func Lookup(name string) (Entry, error) {
+	for _, e := range Registry() {
+		if strings.EqualFold(e.Name, name) {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("algs: no algorithm %q: %w", name, core.ErrUnsupportedAlg)
 }

@@ -29,21 +29,21 @@ func SUMMA(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 	var pr, pc int
 	if opts.Grid != (grid.Grid{}) {
 		if opts.Grid.P2 != 1 {
-			return nil, fmt.Errorf("algs: SUMMA grid must have P2 = 1, got %v", opts.Grid)
+			return nil, fmt.Errorf("algs: SUMMA grid must have P2 = 1, got %v: %w", opts.Grid, core.ErrGridMismatch)
 		}
 		pr, pc = opts.Grid.P1, opts.Grid.P3
 	} else {
 		pr, pc = summaGrid(d, p)
 	}
 	if pr*pc != p {
-		return nil, fmt.Errorf("algs: SUMMA grid %dx%d has %d processors, want %d", pr, pc, pr*pc, p)
+		return nil, fmt.Errorf("algs: SUMMA grid %dx%d has %d processors, want %d: %w", pr, pc, pr*pc, p, core.ErrGridMismatch)
 	}
 	if pr > d.N1 || pc > d.N3 {
-		return nil, fmt.Errorf("algs: SUMMA grid %dx%d exceeds dims %v", pr, pc, d)
+		return nil, fmt.Errorf("algs: SUMMA grid %dx%d exceeds dims %v: %w", pr, pc, d, core.ErrGridMismatch)
 	}
 	steps := lcm(pr, pc)
 	if d.N2%steps != 0 {
-		return nil, fmt.Errorf("algs: SUMMA needs n2 divisible by lcm(pr,pc)=%d, got %d", steps, d.N2)
+		return nil, fmt.Errorf("algs: SUMMA needs n2 divisible by lcm(pr,pc)=%d, got %d: %w", steps, d.N2, core.ErrGridMismatch)
 	}
 	panelW := d.N2 / steps
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/collective"
+	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/machine"
 	"repro/internal/matrix"
@@ -26,7 +27,7 @@ func TwoPointFiveD(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 		return nil, err
 	}
 	if d.N1 != d.N2 || d.N2 != d.N3 {
-		return nil, fmt.Errorf("algs: TwoPointFiveD requires square matrices, got %v", d)
+		return nil, fmt.Errorf("algs: TwoPointFiveD requires square matrices, got %v: %w", d, core.ErrBadDims)
 	}
 	n := d.N1
 	c := opts.Layers
@@ -34,17 +35,17 @@ func TwoPointFiveD(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 		c = ChooseLayers(p)
 	}
 	if c < 1 || p%c != 0 {
-		return nil, fmt.Errorf("algs: TwoPointFiveD layers c=%d does not divide P=%d", c, p)
+		return nil, fmt.Errorf("algs: TwoPointFiveD layers c=%d does not divide P=%d: %w", c, p, core.ErrBadProcessorCount)
 	}
 	q := int(math.Round(math.Sqrt(float64(p / c))))
 	if q*q*c != p {
-		return nil, fmt.Errorf("algs: TwoPointFiveD needs P = q²c, got P=%d c=%d", p, c)
+		return nil, fmt.Errorf("algs: TwoPointFiveD needs P = q²c, got P=%d c=%d: %w", p, c, core.ErrBadProcessorCount)
 	}
 	if q%c != 0 {
-		return nil, fmt.Errorf("algs: TwoPointFiveD needs c | q, got q=%d c=%d", q, c)
+		return nil, fmt.Errorf("algs: TwoPointFiveD needs c | q, got q=%d c=%d: %w", q, c, core.ErrBadProcessorCount)
 	}
 	if n%q != 0 {
-		return nil, fmt.Errorf("algs: TwoPointFiveD needs q | n, got n=%d q=%d", n, q)
+		return nil, fmt.Errorf("algs: TwoPointFiveD needs q | n, got n=%d q=%d: %w", n, q, core.ErrGridMismatch)
 	}
 
 	g := grid.Grid{P1: q, P2: c, P3: q} // Axis2 indexes the replication layer

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/matrix"
 )
@@ -54,14 +55,14 @@ func (r *Result) CommCost() float64 { return r.Stats.CommCost() }
 // must be square n×n with n divisible by 2^levels.
 func Multiply(a, b *matrix.Dense, levels int, cfg machine.Config) (*Result, error) {
 	if a.Rows() != a.Cols() || b.Rows() != b.Cols() || a.Cols() != b.Rows() {
-		return nil, fmt.Errorf("caps: need square matrices, got %dx%d · %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
+		return nil, fmt.Errorf("caps: need square matrices, got %dx%d · %dx%d: %w", a.Rows(), a.Cols(), b.Rows(), b.Cols(), core.ErrBadDims)
 	}
 	n := a.Rows()
 	if levels < 0 {
-		return nil, fmt.Errorf("caps: negative levels")
+		return nil, fmt.Errorf("caps: negative levels: %w", core.ErrBadProcessorCount)
 	}
 	if n%(1<<levels) != 0 {
-		return nil, fmt.Errorf("caps: n=%d not divisible by 2^%d", n, levels)
+		return nil, fmt.Errorf("caps: n=%d not divisible by 2^%d: %w", n, levels, core.ErrGridMismatch)
 	}
 	p := 1
 	for i := 0; i < levels; i++ {

@@ -47,7 +47,7 @@ func (d Dims) Sorted() (m, n, k int) {
 // Validate reports an error when any dimension is non-positive.
 func (d Dims) Validate() error {
 	if d.N1 <= 0 || d.N2 <= 0 || d.N3 <= 0 {
-		return fmt.Errorf("core: dimensions must be positive, got %dx%dx%d", d.N1, d.N2, d.N3)
+		return fmt.Errorf("core: dimensions must be positive, got %dx%dx%d: %w", d.N1, d.N2, d.N3, ErrBadDims)
 	}
 	return nil
 }

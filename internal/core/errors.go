@@ -1,0 +1,33 @@
+package core
+
+import "errors"
+
+// The public error taxonomy. Every validation failure in the library wraps
+// exactly one of these sentinels (with %w), so callers dispatch with
+// errors.Is instead of matching message strings — the HTTP service maps
+// them onto status codes the same way. The root parmm package re-exports
+// them.
+var (
+	// ErrBadDims marks invalid matrix dimensions: non-positive sizes or
+	// operand shapes that do not conform.
+	ErrBadDims = errors.New("invalid matrix dimensions")
+
+	// ErrBadProcessorCount marks a processor count an algorithm cannot use:
+	// non-positive, non-square for Cannon, not a power of two for CARMA,
+	// not q²c for 2.5D, and so on.
+	ErrBadProcessorCount = errors.New("invalid processor count")
+
+	// ErrGridMismatch marks a processor grid that does not fit the run: the
+	// wrong total size, non-positive extents, extents exceeding (or not
+	// dividing, where exactness demands it) the matrix dimensions, or an
+	// analytic §5.2 grid that is not integral.
+	ErrGridMismatch = errors.New("processor grid mismatch")
+
+	// ErrUnsupportedAlg marks a request for an algorithm this library does
+	// not implement (e.g. an unknown registry name).
+	ErrUnsupportedAlg = errors.New("unsupported algorithm")
+
+	// ErrBadOpts marks invalid run options: negative worker or layer
+	// counts, an unknown collective family, chunk counts below one.
+	ErrBadOpts = errors.New("invalid options")
+)

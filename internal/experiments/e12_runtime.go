@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algs"
@@ -19,6 +20,12 @@ import (
 // saturates, and efficiency decays once P passes the communication-bound
 // threshold (γ/3β)³·mnk.
 func RuntimeModel(d core.Dims, cfg machine.Config, ps []int) (Artifact, error) {
+	return RuntimeModelContext(context.Background(), d, cfg, ps)
+}
+
+// RuntimeModelContext is RuntimeModel honoring cancellation between sweep
+// points.
+func RuntimeModelContext(ctx context.Context, d core.Dims, cfg machine.Config, ps []int) (Artifact, error) {
 	a := matrix.Random(d.N1, d.N2, 31)
 	b := matrix.Random(d.N2, d.N3, 32)
 	serial := model.SerialTime(d, cfg)
@@ -26,7 +33,7 @@ func RuntimeModel(d core.Dims, cfg machine.Config, ps []int) (Artifact, error) {
 		fmt.Sprintf("Runtime model vs simulation for %v (α=%g β=%g γ=%g)", d, cfg.Alpha, cfg.Beta, cfg.Gamma),
 		"P", "grid", "predicted", "simulated", "rel err", "speedup", "efficiency", "compute share",
 	)
-	rows, err := Map(len(ps), func(i int) ([]string, error) {
+	rows, err := MapContext(ctx, len(ps), func(i int) ([]string, error) {
 		p := ps[i]
 		g := grid.Optimal(d, p)
 		pred := model.Alg1Time(d, g, cfg, collective.Auto)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,7 +23,10 @@ var TightnessPoints = []int{1, 2, 3, 4, 16, 36, 64, 512}
 // covering all three cases. For each P it reports the measured per-rank
 // communication, the eq. (3) prediction, and Theorem 3's bound — all three
 // agree to the word — plus the product-correctness check.
-func Tightness() (Artifact, error) {
+func Tightness() (Artifact, error) { return TightnessContext(context.Background()) }
+
+// TightnessContext is Tightness honoring cancellation between sweep points.
+func TightnessContext(ctx context.Context) (Artifact, error) {
 	d := DefaultRectDims
 	a := matrix.Random(d.N1, d.N2, 7)
 	b := matrix.Random(d.N2, d.N3, 8)
@@ -32,7 +36,7 @@ func Tightness() (Artifact, error) {
 		fmt.Sprintf("Algorithm 1 vs Theorem 3 on %v (words per processor)", d),
 		"P", "case", "grid", "measured", "eq.(3)", "Theorem 3 bound", "measured/bound", "correct",
 	)
-	rows, err := Map(len(TightnessPoints), func(i int) ([]string, error) {
+	rows, err := MapContext(ctx, len(TightnessPoints), func(i int) ([]string, error) {
 		p := TightnessPoints[i]
 		g, err := grid.CaseGrid(d, p)
 		if err != nil {

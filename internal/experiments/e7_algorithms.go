@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algs"
@@ -16,6 +17,12 @@ import (
 // bound. On a square problem all P > 1 fall in Case 3, so the 3D
 // algorithms win and the 1D/2D baselines pay the predicted factors.
 func AlgorithmComparison(n, p int) (Artifact, error) {
+	return AlgorithmComparisonContext(context.Background(), n, p)
+}
+
+// AlgorithmComparisonContext is AlgorithmComparison honoring cancellation
+// between algorithms.
+func AlgorithmComparisonContext(ctx context.Context, n, p int) (Artifact, error) {
 	d := core.Square(n)
 	a := matrix.Random(n, n, 17)
 	b := matrix.Random(n, n, 18)
@@ -27,7 +34,7 @@ func AlgorithmComparison(n, p int) (Artifact, error) {
 		"algorithm", "grid", "words/proc", "ratio to bound", "messages/proc", "peak memory", "correct",
 	)
 	entries := algs.Registry()
-	rows, err := Map(len(entries), func(i int) ([]string, error) {
+	rows, err := MapContext(ctx, len(entries), func(i int) ([]string, error) {
 		e := entries[i]
 		res, err := e.Run(a, b, p, algs.Opts{Config: machine.BandwidthOnly()})
 		if err != nil {
@@ -72,6 +79,12 @@ func AlgorithmComparison(n, p int) (Artifact, error) {
 // reporting measured communication against the bound — showing the regime
 // transitions of Theorem 3 on measured data.
 func StrongScaling(d core.Dims, ps []int) (Artifact, error) {
+	return StrongScalingContext(context.Background(), d, ps)
+}
+
+// StrongScalingContext is StrongScaling honoring cancellation between sweep
+// points.
+func StrongScalingContext(ctx context.Context, d core.Dims, ps []int) (Artifact, error) {
 	a := matrix.Random(d.N1, d.N2, 23)
 	b := matrix.Random(d.N2, d.N3, 29)
 	want := matrix.Mul(a, b)
@@ -79,7 +92,7 @@ func StrongScaling(d core.Dims, ps []int) (Artifact, error) {
 		fmt.Sprintf("Strong scaling of Algorithm 1 on %v", d),
 		"P", "case", "grid", "words/proc", "bound", "ratio", "critical path (words)",
 	)
-	rows, err := Map(len(ps), func(i int) ([]string, error) {
+	rows, err := MapContext(ctx, len(ps), func(i int) ([]string, error) {
 		p := ps[i]
 		res, err := algs.Alg1(a, b, p, algs.Opts{Config: machine.BandwidthOnly()})
 		if err != nil {

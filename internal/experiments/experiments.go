@@ -8,7 +8,10 @@
 // thin wrappers around this package.
 package experiments
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Artifact is one regenerated table or figure.
 type Artifact struct {
@@ -31,58 +34,43 @@ func (a Artifact) String() string {
 // the artifacts in paper order. Simulation-backed experiments use the
 // scaled dimensions documented in DESIGN.md so the whole suite runs in
 // seconds.
-func All() ([]Artifact, error) {
-	out := []Artifact{
-		Table1(),
-		Lemma2Cases(DefaultRectDims),
-		BoundCurves(DefaultRectDims, 1<<20),
-		Figure2(),
-		LimitedMemory(DefaultSquareN, DefaultMemoryWords),
+func All() ([]Artifact, error) { return AllContext(context.Background()) }
+
+// AllContext is All honoring cancellation: ctx is checked between
+// experiments and threaded into the sweep-based ones, so a long run stops
+// within one experiment step (or one sweep point) of ctx being done. The
+// error is then ctx.Err().
+func AllContext(ctx context.Context) ([]Artifact, error) {
+	var out []Artifact
+	steps := []func() (Artifact, error){
+		func() (Artifact, error) { return Table1(), nil },
+		func() (Artifact, error) { return Lemma2Cases(DefaultRectDims), nil },
+		func() (Artifact, error) { return BoundCurves(DefaultRectDims, 1<<20), nil },
+		func() (Artifact, error) { return Figure2(), nil },
+		func() (Artifact, error) { return LimitedMemory(DefaultSquareN, DefaultMemoryWords), nil },
+		func() (Artifact, error) { return Figure1(DefaultFig1N, 27) },
+		func() (Artifact, error) { return TightnessContext(ctx) },
+		func() (Artifact, error) { return AlgorithmComparisonContext(ctx, DefaultCompareN, DefaultCompareP) },
+		func() (Artifact, error) { return Geometry() },
+		func() (Artifact, error) { return CARMAComparison(), nil },
+		func() (Artifact, error) { return Extension() },
+		func() (Artifact, error) {
+			return RuntimeModelContext(ctx, DefaultRectDims, DefaultRuntimeConfig, []int{1, 4, 16, 64, 512})
+		},
+		func() (Artifact, error) { return FastMatmul(4096, []int{1, 8, 64, 512, 4096}) },
+		func() (Artifact, error) { return ModelRobustness(), nil },
+		func() (Artifact, error) { return CAPSExperiment(56) },
+		func() (Artifact, error) { return MemoryTradeoff(DefaultRectDims, 512) },
 	}
-	fig1, err := Figure1(DefaultFig1N, 27)
-	if err != nil {
-		return nil, err
+	for _, step := range steps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		a, err := step()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
 	}
-	out = append(out, fig1)
-	tight, err := Tightness()
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, tight)
-	algs, err := AlgorithmComparison(DefaultCompareN, DefaultCompareP)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, algs)
-	geo, err := Geometry()
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, geo, CARMAComparison())
-	ext, err := Extension()
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, ext)
-	rt, err := RuntimeModel(DefaultRectDims, DefaultRuntimeConfig, []int{1, 4, 16, 64, 512})
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, rt)
-	fmm, err := FastMatmul(4096, []int{1, 8, 64, 512, 4096})
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, fmm, ModelRobustness())
-	cp, err := CAPSExperiment(56)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, cp)
-	mt, err := MemoryTradeoff(DefaultRectDims, 512)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, mt)
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,19 @@ func Workers() int {
 // again independent of scheduling. With one worker the points run strictly
 // in order and evaluation stops at the first error.
 func Map[T any](n int, fn func(int) (T, error)) ([]T, error) {
+	return MapContext(context.Background(), n, fn)
+}
+
+// MapContext is Map honoring cancellation: workers stop picking up new
+// indexes once ctx is done, already-running fn calls finish, and the ctx
+// error is returned (taking precedence over any fn error, since the
+// un-evaluated indexes make the sweep incomplete either way). fn itself is
+// not passed the context; sweep points are short relative to a sweep, so
+// between-point cancellation is what long runs need.
+func MapContext[T any](ctx context.Context, n int, fn func(int) (T, error)) ([]T, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]T, n)
 	w := Workers()
 	if w > n {
@@ -45,6 +59,9 @@ func Map[T any](n int, fn func(int) (T, error)) ([]T, error) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -60,7 +77,7 @@ func Map[T any](n int, fn func(int) (T, error)) ([]T, error) {
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -70,6 +87,9 @@ func Map[T any](n int, fn func(int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 )
 
@@ -38,6 +40,54 @@ func TestMapFirstErrorByIndex(t *testing.T) {
 		})
 		if err == nil || err.Error() != "point 3" {
 			t.Fatalf("workers=%d: err = %v, want point 3", w, err)
+		}
+	}
+}
+
+// TestMapContextPreCancelled: a context that is already done stops the
+// sweep before fn ever runs, in both the sequential and parallel drivers.
+func TestMapContextPreCancelled(t *testing.T) {
+	defer SetWorkers(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 8} {
+		SetWorkers(w)
+		var calls atomic.Int64
+		out, err := MapContext(ctx, 50, func(i int) (int, error) {
+			calls.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", w, err)
+		}
+		if out != nil || calls.Load() != 0 {
+			t.Fatalf("workers=%d: fn ran %d times on a dead context", w, calls.Load())
+		}
+	}
+}
+
+// TestMapContextMidSweepCancel cancels from inside a point and checks the
+// sweep stops early: the context error wins and far fewer than n points run.
+func TestMapContextMidSweepCancel(t *testing.T) {
+	defer SetWorkers(0)
+	for _, w := range []int{1, 8} {
+		SetWorkers(w)
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		_, err := MapContext(ctx, 10_000, func(i int) (int, error) {
+			if calls.Add(1) == 5 {
+				cancel()
+			}
+			return i, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", w, err)
+		}
+		// In-flight points may finish, but the sweep must not go on to
+		// evaluate anything like all 10k indexes.
+		if n := calls.Load(); n > 1000 {
+			t.Fatalf("workers=%d: %d points ran after cancellation", w, n)
 		}
 	}
 }

@@ -26,7 +26,7 @@ func (g Grid) Size() int { return g.P1 * g.P2 * g.P3 }
 // Validate reports an error if any grid dimension is non-positive.
 func (g Grid) Validate() error {
 	if g.P1 <= 0 || g.P2 <= 0 || g.P3 <= 0 {
-		return fmt.Errorf("grid: dimensions must be positive, got %v", g)
+		return fmt.Errorf("grid: dimensions must be positive, got %v: %w", g, core.ErrGridMismatch)
 	}
 	return nil
 }

@@ -138,14 +138,14 @@ func CaseGrid(d core.Dims, p int) (Grid, error) {
 	i2, ok2 := round(g2)
 	i3, ok3 := round(g3)
 	if !ok1 || !ok2 || !ok3 {
-		return Grid{}, fmt.Errorf("grid: analytic grid (%.3f, %.3f, %.3f) for %v P=%d is not integral", g1, g2, g3, d, p)
+		return Grid{}, fmt.Errorf("grid: analytic grid (%.3f, %.3f, %.3f) for %v P=%d is not integral: %w", g1, g2, g3, d, p, core.ErrGridMismatch)
 	}
 	g := Grid{i1, i2, i3}
 	if g.Size() != p {
-		return Grid{}, fmt.Errorf("grid: rounded grid %v has size %d, want %d", g, g.Size(), p)
+		return Grid{}, fmt.Errorf("grid: rounded grid %v has size %d, want %d: %w", g, g.Size(), p, core.ErrGridMismatch)
 	}
 	if !Divides(d, g) {
-		return Grid{}, fmt.Errorf("grid: %v does not divide %v", g, d)
+		return Grid{}, fmt.Errorf("grid: %v does not divide %v: %w", g, d, core.ErrGridMismatch)
 	}
 	return g, nil
 }

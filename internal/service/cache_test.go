@@ -1,0 +1,98 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(64)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("a", 2)
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatalf("overwrite lost: %v", v)
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses, want 2, 1", hits, misses)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	// Capacity 32 = two entries per shard. Collect three keys landing in
+	// one shard and check the least recently *used* (not inserted) entry
+	// is the one evicted.
+	c := NewCache(32)
+	shard := c.shardFor("k0")
+	keys := []string{"k0"}
+	for i := 1; len(keys) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shardFor(k) == shard {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], 0)
+	c.Put(keys[1], 1)
+	if _, ok := c.Get(keys[0]); !ok { // touch keys[0]: keys[1] becomes LRU
+		t.Fatal("entry missing before eviction")
+	}
+	c.Put(keys[2], 2) // shard full: evicts keys[1]
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	for _, want := range []int{0, 2} {
+		if v, ok := c.Get(keys[want]); !ok || v.(int) != want {
+			t.Fatalf("recently used %s evicted", keys[want])
+		}
+	}
+}
+
+func TestCacheGetOrCompute(t *testing.T) {
+	c := NewCache(64)
+	calls := 0
+	fn := func() any { calls++; return 42 }
+	if v := c.GetOrCompute("k", fn); v.(int) != 42 {
+		t.Fatalf("computed %v", v)
+	}
+	if v := c.GetOrCompute("k", fn); v.(int) != 42 {
+		t.Fatalf("cached %v", v)
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1", calls)
+	}
+}
+
+// TestCacheConcurrent hammers the cache from many goroutines; run with
+// -race this is the shard-locking correctness test.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%200)
+				v := c.GetOrCompute(k, func() any { return i % 200 })
+				// Values are keyed deterministically, so any hit must
+				// return the key's own value.
+				if v.(int) != i%200 {
+					t.Errorf("GetOrCompute(%s) = %v", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 128+cacheShards {
+		t.Fatalf("cache grew past capacity: %d", c.Len())
+	}
+}

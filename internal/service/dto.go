@@ -1,0 +1,251 @@
+// Package service implements parmmd, the long-running HTTP JSON tuning
+// oracle over the library: Theorem 3 lower bounds, optimal grids, runtime
+// predictions, and asynchronous simulation jobs, behind a versioned v1 API.
+// Expensive pure computations are memoized in a sharded LRU keyed by the
+// full input tuple; simulations run on a bounded job pool with per-job
+// context cancellation and deadline; /debug/vars exposes the operational
+// counters. See DESIGN.md "Service architecture".
+package service
+
+// Problem identifies one multiplication instance: the shape (an N1×N2
+// matrix times an N2×N3 matrix) and the processor count P.
+type Problem struct {
+	// N1 is the number of rows of A and C.
+	N1 int `json:"n1"`
+	// N2 is the contracted dimension (columns of A, rows of B).
+	N2 int `json:"n2"`
+	// N3 is the number of columns of B and C.
+	N3 int `json:"n3"`
+	// P is the number of processors.
+	P int `json:"p"`
+}
+
+// LowerBoundRequest is the body of POST /v1/lowerbound: either a single
+// inline Problem, or a Batch of problems (when Batch is non-empty the
+// inline fields are ignored).
+type LowerBoundRequest struct {
+	Problem
+	// Batch, when non-empty, requests bounds for every listed problem in
+	// order; the response is then a BatchLowerBoundResponse.
+	Batch []Problem `json:"batch,omitempty"`
+}
+
+// GridJSON is a processor grid in responses: P1×P2×P3 with P1 partitioning
+// n1, P2 the contracted n2, and P3 partitioning n3.
+type GridJSON struct {
+	// P1 is the grid extent along n1.
+	P1 int `json:"p1"`
+	// P2 is the grid extent along n2.
+	P2 int `json:"p2"`
+	// P3 is the grid extent along n3.
+	P3 int `json:"p3"`
+}
+
+// LowerBoundResponse is the answer for one problem: Theorem 3's bound with
+// its regime and decomposition, the decision data for choosing a
+// replication strategy.
+type LowerBoundResponse struct {
+	// Problem echoes the request.
+	Problem Problem `json:"problem"`
+	// Case is the Theorem 3 regime: 1, 2, or 3.
+	Case int `json:"case"`
+	// CaseName names the regime ("Case 3 (3D)").
+	CaseName string `json:"caseName"`
+	// Thresholds holds the regime boundaries [m/n, mn/k²].
+	Thresholds [2]float64 `json:"thresholds"`
+	// Bound is the Theorem 3 memory-independent lower bound in words per
+	// processor: D − (mn+mk+nk)/P.
+	Bound float64 `json:"bound"`
+	// LeadingTerm is the bound's leading term in the applicable case.
+	LeadingTerm float64 `json:"leadingTerm"`
+	// Footprint is the paper's D, the Lemma 2 optimum.
+	Footprint float64 `json:"footprint"`
+}
+
+// BatchLowerBoundResponse is the answer to a batch request.
+type BatchLowerBoundResponse struct {
+	// Results holds one LowerBoundResponse per batch entry, in order.
+	Results []LowerBoundResponse `json:"results"`
+}
+
+// GridRequest is the body of POST /v1/grid: a problem, optionally with a
+// per-processor memory limit.
+type GridRequest struct {
+	Problem
+	// Mem, when positive, also asks for the cheapest grid whose
+	// per-processor footprint fits in Mem words (the §6.2 trade-off).
+	Mem float64 `json:"mem,omitempty"`
+}
+
+// GridResponse reports the grid selection for a problem.
+type GridResponse struct {
+	// Problem echoes the request.
+	Problem Problem `json:"problem"`
+	// Optimal is the integer grid minimizing eq. (3), by exhaustive
+	// divisor search.
+	Optimal GridJSON `json:"optimal"`
+	// CommCost is eq. (3) evaluated on Optimal (words per processor).
+	CommCost float64 `json:"commCost"`
+	// MemoryCost is Optimal's per-processor footprint in words.
+	MemoryCost float64 `json:"memoryCost"`
+	// RatioToBound is CommCost divided by the Theorem 3 bound (1 exactly
+	// when the bound is attained; 0 when the bound is 0).
+	RatioToBound float64 `json:"ratioToBound"`
+	// Divides reports whether Optimal divides the matrix dimensions (the
+	// exact-attainment assumption of §5.2).
+	Divides bool `json:"divides"`
+	// Analytic is the real-valued §5.2 grid [g1, g2, g3].
+	Analytic [3]float64 `json:"analytic"`
+	// CaseGrid is the exact §5.2 integer grid when it exists.
+	CaseGrid *GridJSON `json:"caseGrid,omitempty"`
+	// CaseGridError explains why CaseGrid is absent (non-integral analytic
+	// grid or non-dividing dimensions).
+	CaseGridError string `json:"caseGridError,omitempty"`
+	// UnderMemory is the cheapest grid fitting in Mem words, when Mem was
+	// given and any grid fits.
+	UnderMemory *GridJSON `json:"underMemory,omitempty"`
+	// UnderMemoryCost is eq. (3) on UnderMemory.
+	UnderMemoryCost float64 `json:"underMemoryCost,omitempty"`
+	// UnderMemoryFits reports whether any grid fit in Mem (only meaningful
+	// when Mem was given).
+	UnderMemoryFits bool `json:"underMemoryFits,omitempty"`
+}
+
+// PredictRequest is the body of POST /v1/predict: a problem plus the α-β-γ
+// machine model; Grid optionally pins the processor grid (it must multiply
+// to P), otherwise the eq. (3)-optimal grid is used.
+type PredictRequest struct {
+	Problem
+	// Grid, when non-zero, is the grid to predict on.
+	Grid *GridJSON `json:"grid,omitempty"`
+	// Alpha is the per-message latency cost.
+	Alpha float64 `json:"alpha"`
+	// Beta is the per-word bandwidth cost.
+	Beta float64 `json:"beta"`
+	// Gamma is the per-flop computation cost.
+	Gamma float64 `json:"gamma"`
+}
+
+// PredictResponse decomposes Algorithm 1's predicted execution time on the
+// chosen grid.
+type PredictResponse struct {
+	// Problem echoes the request.
+	Problem Problem `json:"problem"`
+	// Grid is the grid the prediction was evaluated on.
+	Grid GridJSON `json:"grid"`
+	// Total is Compute + Bandwidth + Latency.
+	Total float64 `json:"total"`
+	// Compute is γ·(local multiply-adds + reduction additions).
+	Compute float64 `json:"compute"`
+	// Bandwidth is β·(communicated words per processor).
+	Bandwidth float64 `json:"bandwidth"`
+	// Latency is α·(messages per processor).
+	Latency float64 `json:"latency"`
+	// Words is the communicated words per processor (the Theorem 3
+	// quantity).
+	Words float64 `json:"words"`
+	// Messages is the per-processor message count.
+	Messages float64 `json:"messages"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate: run one algorithm (or
+// a batch of problems under one job) on the simulated α-β-γ machine. The
+// response is a JobResponse; poll GET /v1/jobs/{id} for the result.
+type SimulateRequest struct {
+	Problem
+	// Alg names the algorithm (registry name, case-insensitive): Alg1,
+	// AllToAll3D, CARMA, Alg1LowMem, OneD, SUMMA, Cannon, TwoPointFiveD.
+	// Empty selects Alg1.
+	Alg string `json:"alg,omitempty"`
+	// Batch, when non-empty, simulates every listed problem with Alg under
+	// a single job (the inline problem fields are ignored); the job result
+	// is then a list of SimulateResult.
+	Batch []Problem `json:"batch,omitempty"`
+	// Seed seeds the deterministic pseudo-random input matrices.
+	Seed uint64 `json:"seed,omitempty"`
+	// Alpha, Beta, Gamma set the machine cost model; all zero selects the
+	// bandwidth-only model (β = 1), so costs read directly in words.
+	Alpha float64 `json:"alpha,omitempty"`
+	Beta  float64 `json:"beta,omitempty"`
+	Gamma float64 `json:"gamma,omitempty"`
+	// Grid, when non-zero, pins the processor grid.
+	Grid *GridJSON `json:"grid,omitempty"`
+	// Verify also computes the serial product and reports the maximum
+	// absolute deviation (doubles the arithmetic; off by default).
+	Verify bool `json:"verify,omitempty"`
+}
+
+// SimulateResult is the outcome of one simulated run.
+type SimulateResult struct {
+	// Problem identifies the simulated instance.
+	Problem Problem `json:"problem"`
+	// Alg is the algorithm that ran.
+	Alg string `json:"alg"`
+	// Grid is the processor grid used.
+	Grid GridJSON `json:"grid"`
+	// CommCost is the measured per-processor communication volume in words
+	// (max words received by any rank — the Theorem 3 quantity).
+	CommCost float64 `json:"commCost"`
+	// Bound is the Theorem 3 lower bound for the problem.
+	Bound float64 `json:"bound"`
+	// RatioToBound is CommCost/Bound (0 when the bound is 0).
+	RatioToBound float64 `json:"ratioToBound"`
+	// TotalWords is the network-wide traffic in words.
+	TotalWords float64 `json:"totalWords"`
+	// CriticalPath is the simulated α-β-γ critical-path time.
+	CriticalPath float64 `json:"criticalPath"`
+	// MaxAbsDiff is the maximum deviation from the serial product, present
+	// only when Verify was requested.
+	MaxAbsDiff *float64 `json:"maxAbsDiff,omitempty"`
+}
+
+// JobResponse reports an async job's state; it is the body of the
+// /v1/simulate accept response and of GET /v1/jobs/{id}.
+type JobResponse struct {
+	// ID is the job identifier.
+	ID string `json:"id"`
+	// Status is the lifecycle state: queued, running, done, failed, or
+	// cancelled.
+	Status string `json:"status"`
+	// Result holds the job's outcome when Status is "done": a
+	// SimulateResult, or a list of them for a batch job.
+	Result any `json:"result,omitempty"`
+	// Error holds the failure message when Status is "failed" or
+	// "cancelled".
+	Error string `json:"error,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	// Error is the human-readable message (the wrapped error chain).
+	Error string `json:"error"`
+	// Kind is the machine-readable taxonomy tag: bad_dims,
+	// bad_processor_count, grid_mismatch, unsupported_alg, bad_opts,
+	// bad_request, not_found, queue_full, or internal.
+	Kind string `json:"kind"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	// Status is "ok" when the server is accepting work.
+	Status string `json:"status"`
+}
+
+// VarsResponse is the body of GET /debug/vars: the service's operational
+// counters.
+type VarsResponse struct {
+	// Requests is the number of HTTP requests served (all endpoints).
+	Requests int64 `json:"requests"`
+	// CacheHits and CacheMisses count memo-cache lookups.
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	// CacheEntries is the current number of cached values.
+	CacheEntries int `json:"cacheEntries"`
+	// JobsInFlight is the number of jobs currently executing.
+	JobsInFlight int64 `json:"jobsInFlight"`
+	// JobsTotal is the number of jobs ever accepted.
+	JobsTotal int `json:"jobsTotal"`
+	// WordsSimulated accumulates the network-wide words moved by completed
+	// simulations.
+	WordsSimulated float64 `json:"wordsSimulated"`
+}

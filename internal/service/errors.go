@@ -1,0 +1,83 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// statusFor maps the core error taxonomy onto HTTP status codes,
+// deterministically:
+//
+//	ErrBadDims, ErrBadProcessorCount, ErrBadOpts → 400 Bad Request
+//	ErrUnsupportedAlg                            → 404 Not Found
+//	ErrGridMismatch                              → 422 Unprocessable Entity
+//	ErrJobQueueFull                              → 503 Service Unavailable
+//	anything else                                → 500 Internal Server Error
+//
+// Malformed JSON never reaches this function; the handlers answer 400 with
+// kind "bad_request" directly.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, core.ErrBadDims),
+		errors.Is(err, core.ErrBadProcessorCount),
+		errors.Is(err, core.ErrBadOpts):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrUnsupportedAlg):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrGridMismatch):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrJobQueueFull):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// kindFor tags the taxonomy member for the machine-readable error body.
+func kindFor(err error) string {
+	switch {
+	case errors.Is(err, core.ErrBadDims):
+		return "bad_dims"
+	case errors.Is(err, core.ErrBadProcessorCount):
+		return "bad_processor_count"
+	case errors.Is(err, core.ErrBadOpts):
+		return "bad_opts"
+	case errors.Is(err, core.ErrUnsupportedAlg):
+		return "unsupported_alg"
+	case errors.Is(err, core.ErrGridMismatch):
+		return "grid_mismatch"
+	case errors.Is(err, ErrJobQueueFull):
+		return "queue_full"
+	default:
+		return "internal"
+	}
+}
+
+// writeError answers with the taxonomy-mapped status and an ErrorResponse
+// body.
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), ErrorResponse{Error: err.Error(), Kind: kindFor(err)})
+}
+
+// writeBadRequest answers 400 for protocol-level failures (malformed JSON,
+// oversize bodies) that never reach the taxonomy.
+func writeBadRequest(w http.ResponseWriter, msg string) {
+	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: msg, Kind: "bad_request"})
+}
+
+// writeNotFound answers 404 for missing resources (unknown job ids).
+func writeNotFound(w http.ResponseWriter, msg string) {
+	writeJSON(w, http.StatusNotFound, ErrorResponse{Error: msg, Kind: "not_found"})
+}
+
+// writeJSON writes v as the JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}

@@ -1,0 +1,369 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/algs"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+)
+
+// maxBodyBytes bounds request bodies; batch requests at the MaxBatch limit
+// fit comfortably.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON reads the request body into dst, answering 400 itself on
+// failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		writeBadRequest(w, "invalid JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// parseProblem validates a Problem against the taxonomy.
+func parseProblem(p Problem) (core.Dims, error) {
+	d := core.NewDims(p.N1, p.N2, p.N3)
+	if err := d.Validate(); err != nil {
+		return d, err
+	}
+	if p.P < 1 {
+		return d, fmt.Errorf("service: P must be ≥ 1, got %d: %w", p.P, core.ErrBadProcessorCount)
+	}
+	return d, nil
+}
+
+// checkSearchP guards the linear-in-P divisor search.
+func (s *Server) checkSearchP(p int) error {
+	if p > s.cfg.MaxSearchProcs {
+		return fmt.Errorf("service: P=%d exceeds the search limit %d: %w",
+			p, s.cfg.MaxSearchProcs, core.ErrBadProcessorCount)
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	hits, misses := s.cache.Stats()
+	writeJSON(w, http.StatusOK, VarsResponse{
+		Requests:       s.requests.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEntries:   s.cache.Len(),
+		JobsInFlight:   s.jobs.InFlight(),
+		JobsTotal:      int(s.jobsTotal.Load()),
+		WordsSimulated: s.WordsSimulated(),
+	})
+}
+
+// lowerBoundOne answers one problem from the memo layer.
+func (s *Server) lowerBoundOne(p Problem) (LowerBoundResponse, error) {
+	d, err := parseProblem(p)
+	if err != nil {
+		return LowerBoundResponse{}, err
+	}
+	bound, footprint := s.lowerBound(d, p.P)
+	t1, t2 := core.Thresholds(d)
+	c := core.CaseOf(d, p.P)
+	return LowerBoundResponse{
+		Problem:     p,
+		Case:        int(c),
+		CaseName:    c.String(),
+		Thresholds:  [2]float64{t1, t2},
+		Bound:       bound,
+		LeadingTerm: core.LeadingTerm(d, p.P),
+		Footprint:   footprint,
+	}, nil
+}
+
+func (s *Server) handleLowerBound(w http.ResponseWriter, r *http.Request) {
+	var req LowerBoundRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Batch) == 0 {
+		resp, err := s.lowerBoundOne(req.Problem)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if len(req.Batch) > s.cfg.MaxBatch {
+		writeBadRequest(w, fmt.Sprintf("batch of %d exceeds the limit %d", len(req.Batch), s.cfg.MaxBatch))
+		return
+	}
+	out := BatchLowerBoundResponse{Results: make([]LowerBoundResponse, len(req.Batch))}
+	for i, p := range req.Batch {
+		resp, err := s.lowerBoundOne(p)
+		if err != nil {
+			writeError(w, fmt.Errorf("batch[%d]: %w", i, err))
+			return
+		}
+		out.Results[i] = resp
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	var req GridRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	d, err := parseProblem(req.Problem)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.checkSearchP(req.P); err != nil {
+		writeError(w, err)
+		return
+	}
+	opt := s.optimalGrid(d, req.P)
+	bound, _ := s.lowerBound(d, req.P)
+	cost := grid.CommCost(d, opt)
+	ratio := 0.0
+	if bound > 0 {
+		ratio = cost / bound
+	}
+	g1, g2, g3 := grid.Analytic(d, req.P)
+	resp := GridResponse{
+		Problem:      req.Problem,
+		Optimal:      GridJSON{opt.P1, opt.P2, opt.P3},
+		CommCost:     cost,
+		MemoryCost:   grid.MemoryCost(d, opt),
+		RatioToBound: ratio,
+		Divides:      grid.Divides(d, opt),
+		Analytic:     [3]float64{g1, g2, g3},
+	}
+	if cg, cgErr := s.caseGrid(d, req.P); cgErr == nil {
+		resp.CaseGrid = &GridJSON{cg.P1, cg.P2, cg.P3}
+	} else {
+		resp.CaseGridError = cgErr.Error()
+	}
+	if req.Mem > 0 {
+		um, ok := s.optimalUnderMemory(d, req.P, req.Mem)
+		resp.UnderMemoryFits = ok
+		if ok {
+			resp.UnderMemory = &GridJSON{um.P1, um.P2, um.P3}
+			resp.UnderMemoryCost = grid.CommCost(d, um)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// optimalUnderMemory is grid.OptimalUnderMemory through the cache.
+func (s *Server) optimalUnderMemory(d core.Dims, p int, mem float64) (grid.Grid, bool) {
+	type result struct {
+		g  grid.Grid
+		ok bool
+	}
+	key := fmt.Sprintf("om:%s:%g", dimsKey(d, p), mem)
+	r := s.cache.GetOrCompute(key, func() any {
+		g, ok := grid.OptimalUnderMemory(d, p, mem)
+		return result{g, ok}
+	}).(result)
+	return r.g, r.ok
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	d, err := parseProblem(req.Problem)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var g grid.Grid
+	if req.Grid != nil {
+		g = grid.Grid{P1: req.Grid.P1, P2: req.Grid.P2, P3: req.Grid.P3}
+		if err := g.Validate(); err != nil {
+			writeError(w, err)
+			return
+		}
+		if g.Size() != req.P {
+			writeError(w, fmt.Errorf("service: grid %v has %d processors, want %d: %w",
+				g, g.Size(), req.P, core.ErrGridMismatch))
+			return
+		}
+	} else {
+		if err := s.checkSearchP(req.P); err != nil {
+			writeError(w, err)
+			return
+		}
+		g = s.optimalGrid(d, req.P)
+	}
+	cfg := machine.Config{Alpha: req.Alpha, Beta: req.Beta, Gamma: req.Gamma}
+	pred := s.predict(d, g, cfg)
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Problem:   req.Problem,
+		Grid:      GridJSON{g.P1, g.P2, g.P3},
+		Total:     pred.Total(),
+		Compute:   pred.Compute,
+		Bandwidth: pred.Bandwidth,
+		Latency:   pred.Latency,
+		Words:     pred.Words,
+		Messages:  pred.Messages,
+	})
+}
+
+// checkSimProblem validates one simulation instance against the limits.
+func (s *Server) checkSimProblem(p Problem) (core.Dims, error) {
+	d, err := parseProblem(p)
+	if err != nil {
+		return d, err
+	}
+	if p.P > s.cfg.MaxSimProcs {
+		return d, fmt.Errorf("service: P=%d exceeds the simulation limit %d: %w",
+			p.P, s.cfg.MaxSimProcs, core.ErrBadProcessorCount)
+	}
+	if d.Flops() > s.cfg.MaxSimFlops {
+		return d, fmt.Errorf("service: %v needs %.3g flops, over the simulation limit %.3g: %w",
+			d, d.Flops(), s.cfg.MaxSimFlops, core.ErrBadDims)
+	}
+	return d, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Alg == "" {
+		req.Alg = "Alg1"
+	}
+	entry, err := algs.Lookup(req.Alg)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	problems := req.Batch
+	batch := len(problems) > 0
+	if !batch {
+		problems = []Problem{req.Problem}
+	}
+	if len(problems) > s.cfg.MaxBatch {
+		writeBadRequest(w, fmt.Sprintf("batch of %d exceeds the limit %d", len(problems), s.cfg.MaxBatch))
+		return
+	}
+	// Validate everything synchronously so taxonomy errors come back on
+	// the submit, not buried in a failed job.
+	for i, p := range problems {
+		if _, err := s.checkSimProblem(p); err != nil {
+			if batch {
+				err = fmt.Errorf("batch[%d]: %w", i, err)
+			}
+			writeError(w, err)
+			return
+		}
+	}
+	opts := algs.Opts{Config: machine.Config{Alpha: req.Alpha, Beta: req.Beta, Gamma: req.Gamma}}
+	if req.Alpha == 0 && req.Beta == 0 && req.Gamma == 0 {
+		opts.Config = machine.BandwidthOnly()
+	}
+	if req.Grid != nil {
+		opts.Grid = grid.Grid{P1: req.Grid.P1, P2: req.Grid.P2, P3: req.Grid.P3}
+	}
+	if err := opts.Validate(); err != nil {
+		writeError(w, err)
+		return
+	}
+
+	id, err := s.jobs.Submit(func(ctx context.Context) (any, error) {
+		results, err := experiments.MapContext(ctx, len(problems), func(i int) (SimulateResult, error) {
+			return s.simulateOne(ctx, entry, problems[i], req, opts)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !batch {
+			return results[0], nil
+		}
+		return results, nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.jobsTotal.Add(1)
+	writeJSON(w, http.StatusAccepted, JobResponse{ID: id, Status: string(JobQueued)})
+}
+
+// simulateOne runs one simulation point. ctx is honored at the point
+// boundary: a cancelled job stops before starting the next point (a single
+// simulated run is not interruptible mid-flight; the limits keep runs
+// short).
+func (s *Server) simulateOne(ctx context.Context, entry algs.Entry, p Problem, req SimulateRequest, opts algs.Opts) (SimulateResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SimulateResult{}, err
+	}
+	a := matrix.Random(p.N1, p.N2, 2*req.Seed+17)
+	b := matrix.Random(p.N2, p.N3, 2*req.Seed+18)
+	res, err := entry.Run(a, b, p.P, opts)
+	if err != nil {
+		return SimulateResult{}, err
+	}
+	d := core.NewDims(p.N1, p.N2, p.N3)
+	bound, _ := s.lowerBound(d, p.P)
+	out := SimulateResult{
+		Problem:      p,
+		Alg:          entry.Name,
+		Grid:         GridJSON{res.Grid.P1, res.Grid.P2, res.Grid.P3},
+		CommCost:     res.CommCost(),
+		Bound:        bound,
+		TotalWords:   res.Stats.TotalWordsSent,
+		CriticalPath: res.Stats.CriticalPath,
+	}
+	if bound > 0 {
+		out.RatioToBound = out.CommCost / bound
+	}
+	if req.Verify {
+		diff := res.C.MaxAbsDiff(matrix.Mul(a, b))
+		out.MaxAbsDiff = &diff
+	}
+	s.addWordsSimulated(res.Stats.TotalWordsSent)
+	return out, nil
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.jobs.Get(id)
+	if !ok {
+		writeNotFound(w, "no job "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResponseOf(view))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.jobs.Cancel(id) {
+		writeNotFound(w, "no job "+id)
+		return
+	}
+	view, _ := s.jobs.Get(id)
+	writeJSON(w, http.StatusOK, jobResponseOf(view))
+}
+
+// jobResponseOf converts a runner snapshot to the wire form.
+func jobResponseOf(v JobView) JobResponse {
+	resp := JobResponse{ID: v.ID, Status: string(v.Status), Result: v.Result}
+	if v.Err != nil {
+		resp.Error = v.Err.Error()
+	}
+	return resp
+}

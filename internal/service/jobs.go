@@ -1,0 +1,279 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobStatus is the lifecycle state of an async job.
+type JobStatus string
+
+// The job lifecycle: queued → running → one of the three terminal states.
+const (
+	// JobQueued means the job is accepted and waiting for a worker.
+	JobQueued JobStatus = "queued"
+	// JobRunning means a worker is executing the job.
+	JobRunning JobStatus = "running"
+	// JobDone means the job finished and its result is available.
+	JobDone JobStatus = "done"
+	// JobFailed means the job returned an error.
+	JobFailed JobStatus = "failed"
+	// JobCancelled means the job's context was cancelled (client request,
+	// deadline, or server shutdown) before it produced a result.
+	JobCancelled JobStatus = "cancelled"
+)
+
+// ErrJobQueueFull is returned by Submit when the bounded queue cannot
+// accept another job; clients should retry later (the service maps it to
+// 503).
+var ErrJobQueueFull = errors.New("job queue full")
+
+// ErrRunnerClosed is returned by Submit after Shutdown has begun.
+var ErrRunnerClosed = errors.New("job runner closed")
+
+// Job is one asynchronous unit of work with its own context. Fields are
+// guarded by the owning runner's mutex; read them through Snapshot.
+type Job struct {
+	id       string
+	status   JobStatus
+	result   any
+	err      error
+	cancel   context.CancelFunc
+	done     chan struct{} // closed when the job reaches a terminal state
+	created  time.Time
+	finished time.Time
+}
+
+// JobView is an immutable snapshot of a job's state.
+type JobView struct {
+	// ID is the job identifier, as returned by Submit.
+	ID string
+	// Status is the lifecycle state at snapshot time.
+	Status JobStatus
+	// Result holds the job's result when Status is JobDone, else nil.
+	Result any
+	// Err holds the failure when Status is JobFailed or JobCancelled.
+	Err error
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobFunc is the work a job performs. It must honor ctx: return ctx.Err()
+// (or an error wrapping it) promptly once the context is done.
+type JobFunc func(ctx context.Context) (any, error)
+
+// Runner executes jobs on a bounded worker pool with per-job
+// cancellation and deadline. It is the service's async half: Submit
+// enqueues, workers drain, Shutdown stops intake and drains (or cancels)
+// what is in flight. The pool mirrors the experiments.Map machinery — a
+// fixed set of goroutines pulling from a shared work source — but persists
+// across requests and tracks each unit as an addressable Job. Batch jobs
+// fan their points out through experiments.MapContext under the job's own
+// context, so one cancellation stops the whole sweep.
+type Runner struct {
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	queue    chan *Job
+	run      map[string]JobFunc // pending work, keyed by job id
+	timeout  time.Duration
+	nextID   atomic.Int64
+	inFlight atomic.Int64
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewRunner starts a runner with the given worker count, queue depth, and
+// per-job timeout (0 means no deadline). workers and queueDepth default to
+// 2 and 64 when non-positive.
+func NewRunner(workers, queueDepth int, timeout time.Duration) *Runner {
+	if workers <= 0 {
+		workers = 2
+	}
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	r := &Runner{
+		jobs:    make(map[string]*Job),
+		run:     make(map[string]JobFunc),
+		queue:   make(chan *Job, queueDepth),
+		timeout: timeout,
+	}
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go r.worker()
+	}
+	return r
+}
+
+// Submit enqueues fn as a new job and returns its id. It fails fast with
+// ErrJobQueueFull when the queue is at capacity and ErrRunnerClosed after
+// shutdown has begun.
+func (r *Runner) Submit(fn JobFunc) (string, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return "", ErrRunnerClosed
+	}
+	id := fmt.Sprintf("j%d", r.nextID.Add(1))
+	j := &Job{id: id, status: JobQueued, done: make(chan struct{}), created: time.Now()}
+	select {
+	case r.queue <- j:
+	default:
+		r.mu.Unlock()
+		return "", ErrJobQueueFull
+	}
+	r.jobs[id] = j
+	r.run[id] = fn
+	r.mu.Unlock()
+	return id, nil
+}
+
+// worker drains the queue until it is closed by Shutdown.
+func (r *Runner) worker() {
+	defer r.wg.Done()
+	for j := range r.queue {
+		r.execute(j)
+	}
+}
+
+// execute runs one job under its own context.
+func (r *Runner) execute(j *Job) {
+	r.mu.Lock()
+	fn := r.run[j.id]
+	delete(r.run, j.id)
+	if j.status == JobCancelled { // cancelled while queued
+		r.mu.Unlock()
+		return
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if r.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, r.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.cancel = cancel
+	j.status = JobRunning
+	r.mu.Unlock()
+	r.inFlight.Add(1)
+	defer r.inFlight.Add(-1)
+	defer cancel()
+
+	res, err := fn(ctx)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.status, j.result = JobDone, res
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status, j.err = JobCancelled, err
+	default:
+		j.status, j.err = JobFailed, err
+	}
+	close(j.done)
+}
+
+// Get returns a snapshot of the job with the given id.
+func (r *Runner) Get(id string) (JobView, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return JobView{ID: j.id, Status: j.status, Result: j.result, Err: j.err}, true
+}
+
+// Wait returns the job channel closed at completion, or false for an
+// unknown id.
+func (r *Runner) Wait(id string) (<-chan struct{}, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.done, true
+}
+
+// Cancel cancels the job with the given id: a queued job goes straight to
+// JobCancelled, a running job has its context cancelled (and reaches
+// JobCancelled when its JobFunc returns the context error). It reports
+// whether the id was known.
+func (r *Runner) Cancel(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	if !ok {
+		return false
+	}
+	switch j.status {
+	case JobQueued:
+		delete(r.run, id)
+		j.status = JobCancelled
+		j.err = context.Canceled
+		close(j.done)
+	case JobRunning:
+		j.cancel()
+	}
+	return true
+}
+
+// InFlight returns the number of jobs currently executing.
+func (r *Runner) InFlight() int64 { return r.inFlight.Load() }
+
+// Len returns the number of jobs the runner remembers (all states).
+func (r *Runner) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}
+
+// Shutdown stops accepting jobs and drains the pool. In-flight and queued
+// jobs are given until ctx is done to finish; after that every remaining
+// job's context is cancelled and Shutdown waits for the workers to return.
+// The error is ctx.Err() when the deadline forced cancellation, else nil.
+func (r *Runner) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	close(r.queue)
+	r.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline passed: cancel everything still alive and wait it out.
+	r.mu.Lock()
+	for id, j := range r.jobs {
+		switch j.status {
+		case JobQueued:
+			delete(r.run, id)
+			j.status = JobCancelled
+			j.err = context.Canceled
+			close(j.done)
+		case JobRunning:
+			j.cancel()
+		}
+	}
+	r.mu.Unlock()
+	<-done
+	return ctx.Err()
+}

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitStatus(t *testing.T, r *Runner, id string) JobView {
+	t.Helper()
+	done, ok := r.Wait(id)
+	if !ok {
+		t.Fatalf("job %s unknown", id)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s did not finish", id)
+	}
+	v, _ := r.Get(id)
+	return v
+}
+
+func TestRunnerLifecycle(t *testing.T) {
+	r := NewRunner(2, 8, 0)
+	defer r.Shutdown(context.Background())
+	id, err := r.Submit(func(context.Context) (any, error) { return 7, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitStatus(t, r, id)
+	if v.Status != JobDone || v.Result.(int) != 7 {
+		t.Fatalf("job = %+v", v)
+	}
+
+	boom := errors.New("boom")
+	id, _ = r.Submit(func(context.Context) (any, error) { return nil, boom })
+	if v := waitStatus(t, r, id); v.Status != JobFailed || !errors.Is(v.Err, boom) {
+		t.Fatalf("failed job = %+v", v)
+	}
+}
+
+func TestRunnerCancelRunning(t *testing.T) {
+	r := NewRunner(1, 8, 0)
+	defer r.Shutdown(context.Background())
+	started := make(chan struct{})
+	id, err := r.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done() // honor cancellation, as JobFuncs must
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if !r.Cancel(id) {
+		t.Fatal("Cancel returned false for a known job")
+	}
+	if v := waitStatus(t, r, id); v.Status != JobCancelled {
+		t.Fatalf("cancelled job = %+v", v)
+	}
+}
+
+func TestRunnerCancelQueued(t *testing.T) {
+	r := NewRunner(1, 8, 0)
+	defer r.Shutdown(context.Background())
+	release := make(chan struct{})
+	blocker, _ := r.Submit(func(context.Context) (any, error) { <-release; return nil, nil })
+	queued, _ := r.Submit(func(context.Context) (any, error) { return "ran", nil })
+	if !r.Cancel(queued) {
+		t.Fatal("Cancel returned false")
+	}
+	if v, _ := r.Get(queued); v.Status != JobCancelled {
+		t.Fatalf("queued job after cancel = %+v", v)
+	}
+	close(release)
+	if v := waitStatus(t, r, blocker); v.Status != JobDone {
+		t.Fatalf("blocker = %+v", v)
+	}
+	// The cancelled job must never run even though the worker is free now.
+	if v, _ := r.Get(queued); v.Status != JobCancelled || v.Result != nil {
+		t.Fatalf("cancelled job ran: %+v", v)
+	}
+}
+
+func TestRunnerTimeout(t *testing.T) {
+	r := NewRunner(1, 8, 20*time.Millisecond)
+	defer r.Shutdown(context.Background())
+	id, _ := r.Submit(func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if v := waitStatus(t, r, id); v.Status != JobCancelled || !errors.Is(v.Err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out job = %+v", v)
+	}
+}
+
+func TestRunnerQueueFull(t *testing.T) {
+	r := NewRunner(1, 1, 0)
+	defer r.Shutdown(context.Background())
+	release := make(chan struct{})
+	defer close(release)
+	block := func(context.Context) (any, error) { <-release; return nil, nil }
+	if _, err := r.Submit(block); err != nil { // taken by the worker
+		t.Fatal(err)
+	}
+	// Give the worker a moment to drain the queue slot, then fill it.
+	deadline := time.Now().Add(time.Second)
+	for {
+		if _, err := r.Submit(block); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue slot never freed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := r.Submit(block); !errors.Is(err, ErrJobQueueFull) {
+		t.Fatalf("Submit on full queue = %v, want ErrJobQueueFull", err)
+	}
+}
+
+// TestRunnerShutdownDrains: jobs in flight at shutdown complete when they
+// finish within the drain budget.
+func TestRunnerShutdownDrains(t *testing.T) {
+	r := NewRunner(2, 8, 0)
+	release := make(chan struct{})
+	id, _ := r.Submit(func(context.Context) (any, error) { <-release; return "drained", nil })
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	if err := r.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	v, _ := r.Get(id)
+	if v.Status != JobDone || v.Result.(string) != "drained" {
+		t.Fatalf("in-flight job after drain = %+v", v)
+	}
+	if _, err := r.Submit(func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrRunnerClosed) {
+		t.Fatalf("Submit after shutdown = %v, want ErrRunnerClosed", err)
+	}
+}
+
+// TestRunnerShutdownCancels: a job outliving the drain budget has its
+// context cancelled and ends JobCancelled.
+func TestRunnerShutdownCancels(t *testing.T) {
+	r := NewRunner(1, 8, 0)
+	started := make(chan struct{})
+	id, _ := r.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := r.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+	v, _ := r.Get(id)
+	if v.Status != JobCancelled {
+		t.Fatalf("job after forced shutdown = %+v", v)
+	}
+}
+
+// TestRunnerConcurrent floods the runner from many goroutines; with -race
+// this is the locking correctness test.
+func TestRunnerConcurrent(t *testing.T) {
+	r := NewRunner(4, 256, 0)
+	defer r.Shutdown(context.Background())
+	var wg sync.WaitGroup
+	ids := make([][]string, 8)
+	for g := range ids {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				id, err := r.Submit(func(context.Context) (any, error) { return g, nil })
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				ids[g] = append(ids[g], id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, list := range ids {
+		for _, id := range list {
+			if v := waitStatus(t, r, id); v.Status != JobDone || v.Result.(int) != g {
+				t.Fatalf("job %s = %+v, want done/%d", id, v, g)
+			}
+		}
+	}
+}

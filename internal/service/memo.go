@@ -1,0 +1,67 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+// The memo layer: typed wrappers putting the sharded LRU in front of the
+// expensive pure computations. Keys spell out the full input tuple — dims,
+// P, and the machine config where the result depends on it — so equal keys
+// imply equal computations and a hit can be returned verbatim. Keys are
+// namespaced per computation ("og:", "cg:", "lb:", "pr:") because the same
+// (dims, P) pair appears under several of them.
+
+// caseGridResult is the cached value of grid.CaseGrid: the grid or the
+// (deterministic) error.
+type caseGridResult struct {
+	g   grid.Grid
+	err error
+}
+
+func dimsKey(d core.Dims, p int) string {
+	return fmt.Sprintf("%d:%d:%d:%d", d.N1, d.N2, d.N3, p)
+}
+
+// optimalGrid is grid.Optimal through the cache — the exhaustive divisor
+// search is the service's most expensive synchronous computation (quadratic
+// in the divisor count of P).
+func (s *Server) optimalGrid(d core.Dims, p int) grid.Grid {
+	return s.cache.GetOrCompute("og:"+dimsKey(d, p), func() any {
+		return grid.Optimal(d, p)
+	}).(grid.Grid)
+}
+
+// caseGrid is grid.CaseGrid through the cache; the error outcome is cached
+// too (it is as deterministic as the grid).
+func (s *Server) caseGrid(d core.Dims, p int) (grid.Grid, error) {
+	r := s.cache.GetOrCompute("cg:"+dimsKey(d, p), func() any {
+		g, err := grid.CaseGrid(d, p)
+		return caseGridResult{g: g, err: err}
+	}).(caseGridResult)
+	return r.g, r.err
+}
+
+// lowerBound is core.LowerBound through the cache, paired with the Lemma 2
+// footprint D (they share the optimization).
+func (s *Server) lowerBound(d core.Dims, p int) (bound, footprint float64) {
+	v := s.cache.GetOrCompute("lb:"+dimsKey(d, p), func() any {
+		return [2]float64{core.LowerBound(d, p), core.D(d, p)}
+	}).([2]float64)
+	return v[0], v[1]
+}
+
+// predict is model.Alg1Time through the cache, keyed by grid and config as
+// well as the problem shape.
+func (s *Server) predict(d core.Dims, g grid.Grid, cfg machine.Config) model.Prediction {
+	key := fmt.Sprintf("pr:%s:%d:%d:%d:%g:%g:%g",
+		dimsKey(d, g.Size()), g.P1, g.P2, g.P3, cfg.Alpha, cfg.Beta, cfg.Gamma)
+	return s.cache.GetOrCompute(key, func() any {
+		return model.Alg1Time(d, g, cfg, collective.Auto)
+	}).(model.Prediction)
+}

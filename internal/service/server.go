@@ -1,0 +1,148 @@
+package service
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Config tunes a Server. The zero value selects sensible defaults
+// throughout.
+type Config struct {
+	// CacheSize bounds the memo cache (total entries); ≤ 0 selects 4096.
+	CacheSize int
+	// Workers is the job pool width; ≤ 0 selects the experiment driver's
+	// width (experiments.Workers, i.e. GOMAXPROCS unless overridden).
+	Workers int
+	// QueueDepth bounds the job queue; ≤ 0 selects 64. A full queue makes
+	// /v1/simulate answer 503 rather than buffering without bound.
+	QueueDepth int
+	// JobTimeout is the per-job deadline; 0 selects a minute, negative
+	// disables the deadline.
+	JobTimeout time.Duration
+	// MaxSimFlops rejects simulation requests whose n1·n2·n3 exceeds it
+	// (the simulator is exact, not sampled, so flops are real work); ≤ 0
+	// selects 1e9.
+	MaxSimFlops float64
+	// MaxSimProcs rejects simulation requests whose P exceeds it (the
+	// simulator runs one goroutine per rank); ≤ 0 selects 4096.
+	MaxSimProcs int
+	// MaxSearchProcs rejects grid/predict requests whose P exceeds it (the
+	// divisor search is linear in P); ≤ 0 selects 1 << 24.
+	MaxSearchProcs int
+	// MaxBatch bounds the batch length of batch requests; ≤ 0 selects
+	// 1024.
+	MaxBatch int
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.Workers <= 0 {
+		c.Workers = experiments.Workers()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = time.Minute
+	}
+	if c.JobTimeout < 0 {
+		c.JobTimeout = 0
+	}
+	if c.MaxSimFlops <= 0 {
+		c.MaxSimFlops = 1e9
+	}
+	if c.MaxSimProcs <= 0 {
+		c.MaxSimProcs = 4096
+	}
+	if c.MaxSearchProcs <= 0 {
+		c.MaxSearchProcs = 1 << 24
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	return c
+}
+
+// Server is the parmmd HTTP service: the v1 API over the lower-bound
+// calculator, grid selector, runtime model, and simulator, with the memo
+// cache and the async job pool behind it. Create with New, mount Handler,
+// and Shutdown to drain.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *Cache
+	jobs  *Runner
+
+	requests  atomic.Int64
+	jobsTotal atomic.Int64
+	// wordsSimulated accumulates float64 words as IEEE-754 bits under CAS,
+	// so /debug/vars needs no lock.
+	wordsSimulated atomic.Uint64
+}
+
+// New builds a Server and starts its job pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheSize),
+		jobs:  NewRunner(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.mux.HandleFunc("POST /v1/lowerbound", s.handleLowerBound)
+	s.mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	return s
+}
+
+// Handler returns the root handler (counting requests); mount it on an
+// http.Server or httptest.Server.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Shutdown drains the job pool: in-flight and queued jobs get until ctx is
+// done to finish, then their contexts are cancelled. Call it after the
+// http.Server's own Shutdown so no new jobs arrive while draining.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.jobs.Shutdown(ctx)
+}
+
+// Cache exposes the memo cache (for tests and benchmarks).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Jobs exposes the job runner (for tests).
+func (s *Server) Jobs() *Runner { return s.jobs }
+
+// addWordsSimulated accumulates the words-moved counter.
+func (s *Server) addWordsSimulated(words float64) {
+	for {
+		old := s.wordsSimulated.Load()
+		val := math.Float64frombits(old) + words
+		if s.wordsSimulated.CompareAndSwap(old, math.Float64bits(val)) {
+			return
+		}
+	}
+}
+
+// WordsSimulated returns the accumulated network-wide words moved by
+// completed simulations.
+func (s *Server) WordsSimulated() float64 {
+	return math.Float64frombits(s.wordsSimulated.Load())
+}

@@ -29,6 +29,8 @@
 package parmm
 
 import (
+	"context"
+
 	"repro/internal/algs"
 	"repro/internal/caps"
 	"repro/internal/collective"
@@ -131,7 +133,11 @@ type MachineConfig = machine.Config
 // else, so costs read directly in words.
 func BandwidthOnly() MachineConfig { return machine.BandwidthOnly() }
 
-// Opts configures a simulated algorithm run.
+// Opts configures a simulated algorithm run. Build it with NewOpts and the
+// With* functional options (the recommended path), or fill the struct
+// directly (the low-level path; see internal/algs for field semantics).
+// Opts.Validate reports taxonomy errors (ErrBadOpts, ErrGridMismatch) for
+// inconsistent values.
 type Opts = algs.Opts
 
 // Result is the outcome of a simulated run: the assembled product, the
@@ -168,6 +174,14 @@ type Experiment = experiments.Artifact
 // RunAllExperiments regenerates every table and figure at the default
 // (scaled) parameters.
 func RunAllExperiments() ([]Experiment, error) { return experiments.All() }
+
+// RunAllExperimentsContext is RunAllExperiments honoring cancellation: ctx
+// is checked between experiments and between sweep points inside the
+// simulation-heavy ones, so a long run stops promptly when ctx is done and
+// returns ctx's error.
+func RunAllExperimentsContext(ctx context.Context) ([]Experiment, error) {
+	return experiments.AllContext(ctx)
+}
 
 // --- Fast (Strassen-like) regime: §2.3 ---
 
