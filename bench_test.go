@@ -9,6 +9,7 @@ package parmm
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -309,6 +310,80 @@ func BenchmarkLocalMatMul(b *testing.B) {
 			matrix.MulParallel(a, bm, 0)
 		}
 	})
+}
+
+// worldScalingBody is the scheduler-stress SPMD body of the P-scaling
+// benchmarks: rounds of small-message ring shifts plus a power-of-two
+// butterfly exchange, so every rank repeatedly parks and wakes while many
+// peers send concurrently. Payloads are tiny on purpose — the benchmark
+// measures scheduling (lock contention, wakeups), not data movement.
+func worldScalingBody(p, rounds int) func(*machine.Rank) {
+	return func(r *machine.Rank) {
+		buf := r.GetBuffer(8)
+		for i := range buf {
+			buf[i] = float64(r.ID())
+		}
+		scratch := r.GetBuffer(8)
+		for round := 0; round < rounds; round++ {
+			next := (r.ID() + 1) % p
+			prev := (r.ID() + p - 1) % p
+			r.SendRecvInto(next, prev, round, buf, scratch)
+			if peer := r.ID() ^ (1 << (round % 10)); peer < p && peer != r.ID() {
+				r.SendRecvInto(peer, peer, rounds+round, buf, scratch)
+			}
+		}
+		r.PutBuffer(buf)
+		r.PutBuffer(scratch)
+	}
+}
+
+// BenchmarkWorldScaling measures simulator wall-clock against the processor
+// count on a fixed per-rank workload, the regime of the strong-scaling
+// experiments (P in the thousands): ideal scheduler scaling keeps time/op
+// growing linearly in P (total messages grow linearly), while a global-lock
+// engine with broadcast wakeups degrades superlinearly.
+func BenchmarkWorldScaling(b *testing.B) {
+	const rounds = 16
+	for _, p := range []int{64, 256, 1024, 4096} {
+		p := p
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			body := worldScalingBody(p, rounds)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := machine.NewWorld(p, machine.BandwidthOnly())
+				if err := w.Run(body); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(2*rounds*p), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkAlg1Scaling runs the paper's Algorithm 1 end-to-end at large
+// processor counts — the full hot path (collectives over fibers, pooled
+// buffers, local tiled matmul) rather than the synthetic scheduler stress of
+// BenchmarkWorldScaling.
+func BenchmarkAlg1Scaling(b *testing.B) {
+	n := 256
+	a := matrix.Random(n, n, 11)
+	bm := matrix.Random(n, n, 12)
+	for _, p := range []int{64, 512, 1024} {
+		p := p
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			var res *algs.Result
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = algs.Alg1(a, bm, p, algs.Opts{Config: machine.BandwidthOnly()})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.CommCost(), "words/proc")
+		})
+	}
 }
 
 // BenchmarkCollectiveAllGather measures simulator throughput for the

@@ -10,7 +10,8 @@
 //
 // Endpoints: POST /v1/lowerbound (single and batch), POST /v1/grid,
 // POST /v1/predict, POST /v1/simulate (async; poll GET /v1/jobs/{id},
-// cancel with DELETE), GET /healthz, GET /debug/vars. Expensive pure
+// cancel with DELETE), GET /healthz, GET /debug/vars, and — with -pprof —
+// the net/http/pprof profiles under GET /debug/pprof/. Expensive pure
 // computations are memoized in a sharded LRU; simulations run on a bounded
 // job pool with per-job deadlines. SIGINT/SIGTERM shut down gracefully:
 // the listener closes, then in-flight jobs drain (up to -drain), then
@@ -41,6 +42,7 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
 	maxFlops := flag.Float64("max-sim-flops", 1e9, "largest n1·n2·n3 a simulation may request")
 	maxProcs := flag.Int("max-sim-procs", 4096, "largest P a simulation may request")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	experiments.SetWorkers(*workers)
@@ -51,6 +53,7 @@ func main() {
 		JobTimeout:  *jobTimeout,
 		MaxSimFlops: *maxFlops,
 		MaxSimProcs: *maxProcs,
+		EnablePprof: *pprofOn,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -113,11 +113,8 @@ func run3D(name string, a, b *matrix.Dense, p int, opts Opts, reduceScatter bool
 		// wrapped matrix is contiguous row-major by construction).
 		r.SetPhase("")
 		packedD := r.GetBuffer(gatheredA.Rows() * gatheredB.Cols())
-		for i := range packedD {
-			packedD[i] = 0
-		}
 		dBlk := matrix.Wrap(gatheredA.Rows(), gatheredB.Cols(), packedD)
-		localMulAddVal(r, dBlk, gatheredA, gatheredB, opts.Workers)
+		localMulIntoVal(r, dBlk, gatheredA, gatheredB, opts.Workers)
 		r.GrowMemory(float64(dBlk.Size()))
 		r.PutBuffer(fullA)
 		r.PutBuffer(fullB)

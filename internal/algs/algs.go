@@ -149,6 +149,13 @@ func localMulAddVal(r *machine.Rank, c, a, b matrix.Dense, workers int) {
 	matrix.MulAddVal(c, a, b, workers)
 }
 
+// localMulIntoVal computes c = a·b on rank r, reusing (and zeroing) c's
+// storage, for call sites that overwrite rather than accumulate.
+func localMulIntoVal(r *machine.Rank, c, a, b matrix.Dense, workers int) {
+	r.Compute(float64(a.Rows()) * float64(a.Cols()) * float64(b.Cols()))
+	matrix.MulIntoVal(c, a, b, workers)
+}
+
 // shareCounts returns the balanced per-member word counts for splitting a
 // packed block of total words across p owners.
 func shareCounts(total, p int) []int {

@@ -1,0 +1,73 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// factorize returns the prime factorization of n > 0 as parallel slices of
+// primes (ascending) and exponents.
+func factorize(n int) (primes, exps []int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("grid: factorize(%d)", n))
+	}
+	for f := 2; f*f <= n; f++ {
+		if n%f != 0 {
+			continue
+		}
+		e := 0
+		for n%f == 0 {
+			n /= f
+			e++
+		}
+		primes = append(primes, f)
+		exps = append(exps, e)
+	}
+	if n > 1 {
+		primes = append(primes, n)
+		exps = append(exps, 1)
+	}
+	return primes, exps
+}
+
+// divisorsOf returns all divisors of n in ascending order, generated from
+// the prime factorization: d(n) values instead of the n trial divisions the
+// nested search loops used to spend, a large win for prime-rich P (a prime
+// P has 2 divisors but cost P to scan).
+func divisorsOf(n int) []int {
+	primes, exps := factorize(n)
+	divs := []int{1}
+	for i, p := range primes {
+		base := len(divs)
+		pk := 1
+		for e := 0; e < exps[i]; e++ {
+			pk *= p
+			for j := 0; j < base; j++ {
+				divs = append(divs, divs[j]*pk)
+			}
+		}
+	}
+	sort.Ints(divs)
+	return divs
+}
+
+// forEachTriple visits every ordered triple (p1, p2, p3) of positive
+// integers with p1·p2·p3 = p, exactly once each, as Grid{p1, p2, p3}. The
+// visit order — p1 ascending, then p2 ascending within each p1 — matches
+// the nested trial-division loops this helper replaced, so searches that
+// break cost ties by first-seen order are unchanged. Both Optimal and
+// OptimalUnderMemory enumerate through here.
+func forEachTriple(p int, visit func(Grid)) {
+	divs := divisorsOf(p)
+	for _, p1 := range divs {
+		rest := p / p1
+		for _, p2 := range divs {
+			if p2 > rest {
+				break
+			}
+			if rest%p2 == 0 {
+				visit(Grid{p1, p2, rest / p2})
+			}
+		}
+	}
+}

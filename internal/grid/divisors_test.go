@@ -1,0 +1,149 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// trialDivisionTriples is the reference enumerator the factorized helper
+// replaced: two nested trial-division loops over 1..p. Kept here as the
+// oracle for equivalence (including visit order) and as the benchmark
+// baseline.
+func trialDivisionTriples(p int, visit func(Grid)) {
+	for p1 := 1; p1 <= p; p1++ {
+		if p%p1 != 0 {
+			continue
+		}
+		rest := p / p1
+		for p2 := 1; p2 <= rest; p2++ {
+			if rest%p2 != 0 {
+				continue
+			}
+			visit(Grid{p1, p2, rest / p2})
+		}
+	}
+}
+
+func TestDivisorsOf(t *testing.T) {
+	for _, n := range []int{1, 2, 12, 97, 360, 1024, 30030} {
+		var want []int
+		for d := 1; d <= n; d++ {
+			if n%d == 0 {
+				want = append(want, d)
+			}
+		}
+		got := divisorsOf(n)
+		if len(got) != len(want) {
+			t.Fatalf("divisorsOf(%d) has %d divisors, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("divisorsOf(%d)[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestForEachTripleMatchesTrialDivision checks both the set of triples and
+// the visit order: Optimal's deterministic tie-breaking depends on
+// first-seen order, so the factorized enumerator must be a drop-in.
+func TestForEachTripleMatchesTrialDivision(t *testing.T) {
+	for _, p := range []int{1, 2, 7, 12, 64, 97, 360, 1001, 1024} {
+		var want, got []Grid
+		trialDivisionTriples(p, func(g Grid) { want = append(want, g) })
+		forEachTriple(p, func(g Grid) { got = append(got, g) })
+		if len(got) != len(want) {
+			t.Fatalf("P=%d: %d triples, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("P=%d: triple %d is %v, want %v (order must match)", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestOptimalMatchesTrialDivisionSearch re-runs the full searches with the
+// trial-division enumerator and demands identical winners, constraints and
+// all, across square and skewed shapes and awkward processor counts.
+func TestOptimalMatchesTrialDivisionSearch(t *testing.T) {
+	dims := []core.Dims{
+		core.NewDims(64, 64, 64),
+		core.NewDims(4096, 64, 64),
+		core.NewDims(1000, 100, 10),
+	}
+	for _, d := range dims {
+		for _, p := range []int{1, 6, 13, 60, 97, 128, 360, 1001} {
+			want := optimalRef(d, p)
+			if got := Optimal(d, p); got != want {
+				t.Errorf("Optimal(%v, %d) = %v, reference %v", d, p, got, want)
+			}
+			for _, mem := range []float64{0, core.MinLocalMemory(d, p) * 1.5, math.Inf(1)} {
+				wantG, wantOK := optimalUnderMemoryRef(d, p, mem)
+				gotG, gotOK := OptimalUnderMemory(d, p, mem)
+				if gotG != wantG || gotOK != wantOK {
+					t.Errorf("OptimalUnderMemory(%v, %d, %g) = %v,%v, reference %v,%v",
+						d, p, mem, gotG, gotOK, wantG, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// optimalRef mirrors Optimal's selection logic over the trial-division
+// enumerator.
+func optimalRef(d core.Dims, p int) Grid {
+	best := Grid{p, 1, 1}
+	bestCost := math.Inf(1)
+	bestDivides := false
+	trialDivisionTriples(p, func(g Grid) {
+		cost := CommCost(d, g)
+		div := Divides(d, g)
+		better := cost < bestCost-1e-9
+		if !better && math.Abs(cost-bestCost) <= 1e-9 && div && !bestDivides {
+			better = true
+		}
+		if better {
+			best, bestCost, bestDivides = g, cost, div
+		}
+	})
+	return best
+}
+
+func optimalUnderMemoryRef(d core.Dims, p int, mem float64) (Grid, bool) {
+	var best Grid
+	bestCost := math.Inf(1)
+	found := false
+	trialDivisionTriples(p, func(g Grid) {
+		if MemoryCost(d, g) > mem {
+			return
+		}
+		if cost := CommCost(d, g); cost < bestCost-1e-9 {
+			best, bestCost, found = g, cost, true
+		}
+	})
+	return best, found
+}
+
+// BenchmarkOptimal compares the factorized enumeration against the
+// trial-division loops it replaced. Prime-rich P make the gap stark: a
+// prime P has two divisors, but trial division still scans all P
+// candidates for p1 and up to P for p2.
+func BenchmarkOptimal(b *testing.B) {
+	d := core.NewDims(4096, 4096, 4096)
+	for _, p := range []int{30030, 65536, 99991} {
+		b.Run(fmt.Sprintf("Factorized/P=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Optimal(d, p)
+			}
+		})
+		b.Run(fmt.Sprintf("TrialDivision/P=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				optimalRef(d, p)
+			}
+		})
+	}
+}

@@ -61,30 +61,20 @@ func Optimal(d core.Dims, p int) Grid {
 	best := Grid{p, 1, 1}
 	bestCost := math.Inf(1)
 	bestDivides := false
-	for p1 := 1; p1 <= p; p1++ {
-		if p%p1 != 0 {
-			continue
-		}
-		rest := p / p1
-		for p2 := 1; p2 <= rest; p2++ {
-			if rest%p2 != 0 {
-				continue
-			}
-			g := Grid{p1, p2, rest / p2}
-			cost := CommCost(d, g)
-			div := Divides(d, g)
-			better := cost < bestCost-1e-9
-			if !better && math.Abs(cost-bestCost) <= 1e-9 {
-				// Tie: prefer dividing grids, then lexicographic order.
-				if div && !bestDivides {
-					better = true
-				}
-			}
-			if better {
-				best, bestCost, bestDivides = g, cost, div
+	forEachTriple(p, func(g Grid) {
+		cost := CommCost(d, g)
+		div := Divides(d, g)
+		better := cost < bestCost-1e-9
+		if !better && math.Abs(cost-bestCost) <= 1e-9 {
+			// Tie: prefer dividing grids, then lexicographic order.
+			if div && !bestDivides {
+				better = true
 			}
 		}
-	}
+		if better {
+			best, bestCost, bestDivides = g, cost, div
+		}
+	})
 	return best
 }
 
@@ -102,24 +92,14 @@ func OptimalUnderMemory(d core.Dims, p int, mem float64) (Grid, bool) {
 	var best Grid
 	bestCost := math.Inf(1)
 	found := false
-	for p1 := 1; p1 <= p; p1++ {
-		if p%p1 != 0 {
-			continue
+	forEachTriple(p, func(g Grid) {
+		if MemoryCost(d, g) > mem {
+			return
 		}
-		rest := p / p1
-		for p2 := 1; p2 <= rest; p2++ {
-			if rest%p2 != 0 {
-				continue
-			}
-			g := Grid{p1, p2, rest / p2}
-			if MemoryCost(d, g) > mem {
-				continue
-			}
-			if cost := CommCost(d, g); cost < bestCost-1e-9 {
-				best, bestCost, found = g, cost, true
-			}
+		if cost := CommCost(d, g); cost < bestCost-1e-9 {
+			best, bestCost, found = g, cost, true
 		}
-	}
+	})
 	return best, found
 }
 

@@ -21,11 +21,32 @@
 // The simulator is deterministic: matching is FIFO per (source,
 // destination, tag), clocks are pure functions of the communication
 // pattern, and no wall-clock time leaks into results.
+//
+// # Execution engine
+//
+// The engine is built to scale to thousands of ranks. Message state is
+// sharded into one mailbox per receiver, each with its own lock and
+// condition variable, so a send touches only the destination's mailbox and
+// wakes at most the one rank that can consume the message — and only when
+// that rank is parked waiting for exactly the message's (source, tag).
+// Global progress accounting (ranks blocked in Recv, parked in Barrier, or
+// finished) lives in a single packed atomic word, mutated only while
+// holding the transitioning rank's mailbox (or the barrier) lock. Deadlock
+// detection is two-phase: a rank about to park performs one atomic add and
+// compares the packed sum against P (phase 1, O(1), almost always
+// negative); only on a hit does it freeze the world — detector mutex, then
+// every mailbox lock, then the barrier lock — and verify exactly (phase 2),
+// checking for pending wakeups (a parked receiver with a matching queued
+// message, or barrier waiters whose generation has already been released)
+// before declaring the simulation stuck. Phase 2 is exact: it can neither
+// fire on a live simulation nor miss a genuine deadlock, because the last
+// rank to park or finish always runs the check after its own transition.
 package machine
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Config sets the machine cost parameters of the α-β-γ model.
@@ -56,36 +77,161 @@ type message struct {
 	next      *message
 }
 
-// msgQueue is a FIFO of in-flight messages for one (src, dst) pair, stored
-// by value in the queues map so enqueue/dequeue never allocate.
+// msgQueue is a FIFO of in-flight messages from one source, linked
+// intrusively so enqueue/dequeue never allocate.
 type msgQueue struct {
 	head, tail *message
 }
+
+// mailbox is one receiver's share of the network state: the queues of
+// messages addressed to it (keyed by source), its own lock and condition
+// variable, and the description of the Recv it is currently parked in, if
+// any. Only the owning rank ever waits on cond, so a Signal wakes exactly
+// the rank that can make progress. The trailing padding keeps neighboring
+// mailboxes off one cache line.
+type mailbox struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	// queues holds the undelivered messages per source rank, created
+	// lazily so worlds whose pairs never communicate pay nothing.
+	queues map[int]*msgQueue
+	// inflight counts undelivered messages queued here (under mu); the
+	// deadlock verifier sums it across mailboxes for diagnostics.
+	inflight int
+	// waiting/wantSrc/wantTag describe the owner's parked Recv: senders
+	// use them to decide whether to Signal, and the deadlock verifier uses
+	// them to recognize a pending wakeup (a queued matching message).
+	waiting bool
+	wantSrc int
+	wantTag int
+
+	_ [40]byte // padding against false sharing between adjacent ranks
+}
+
+// enqueue appends m to the queue for its source (under mb.mu).
+func (mb *mailbox) enqueue(m *message) {
+	q := mb.queues[m.src]
+	if q == nil {
+		if mb.queues == nil {
+			mb.queues = make(map[int]*msgQueue, 4)
+		}
+		q = &msgQueue{}
+		mb.queues[m.src] = q
+	}
+	if q.tail == nil {
+		q.head, q.tail = m, m
+	} else {
+		q.tail.next = m
+		q.tail = m
+	}
+	mb.inflight++
+}
+
+// take removes and returns the oldest message from src with the given tag,
+// or nil (under mb.mu). Skipping non-matching tags preserves FIFO order
+// among same-tag messages, the simulator's matching guarantee.
+func (mb *mailbox) take(src, tag int) *message {
+	q := mb.queues[src]
+	if q == nil {
+		return nil
+	}
+	var prev *message
+	for m := q.head; m != nil; prev, m = m, m.next {
+		if m.tag != tag {
+			continue
+		}
+		if prev == nil {
+			q.head = m.next
+		} else {
+			prev.next = m.next
+		}
+		if q.tail == m {
+			q.tail = prev
+		}
+		m.next = nil
+		mb.inflight--
+		return m
+	}
+	return nil
+}
+
+// peek reports whether a message from src with the given tag is queued
+// (under mb.mu).
+func (mb *mailbox) peek(src, tag int) bool {
+	q := mb.queues[src]
+	if q == nil {
+		return false
+	}
+	for m := q.head; m != nil; m = m.next {
+		if m.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Scheduler state is one packed atomic word holding three counters — ranks
+// blocked in Recv, ranks parked in Barrier, ranks finished — so a single
+// load (or the value returned by a single Add) yields a consistent
+// snapshot. Each counter gets stateBits bits, bounding P at 2^21-1 ranks.
+const (
+	stateBits = 21
+	stateMask = 1<<stateBits - 1
+	recvUnit  = uint64(1)
+	barUnit   = uint64(1) << stateBits
+	doneUnit  = uint64(1) << (2 * stateBits)
+	// MaxRanks is the largest world the packed scheduler state supports.
+	MaxRanks = stateMask
+)
+
+// unpackState splits the packed scheduler word.
+func unpackState(s uint64) (recvBlocked, barParked, done int) {
+	return int(s & stateMask), int((s >> stateBits) & stateMask), int(s >> (2 * stateBits) & stateMask)
+}
+
+// stateSum returns the total number of ranks accounted idle (blocked,
+// parked, or finished) in the packed word.
+func stateSum(s uint64) int {
+	r, b, d := unpackState(s)
+	return r + b + d
+}
+
+// neg returns the two's-complement delta that subtracts unit from the
+// packed word via atomic Add.
+func neg(unit uint64) uint64 { return ^unit + 1 }
 
 // World is a simulated machine of P ranks.
 type World struct {
 	p   int
 	cfg Config
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queues   map[pairKey]msgQueue
-	inflight int
-	blocked  int
-	done     int
-	failed   bool
-	failMsg  string
+	// boxes[i] is rank i's mailbox; all message state is sharded here.
+	boxes []mailbox
 
-	// barrier state (generation-counted reusable barrier). barClock
-	// accumulates the max clock of the generation in progress; barRelease
-	// holds the released clock of the generation that last completed. A
-	// completed generation's release value cannot be overwritten until
-	// every rank has left the barrier, because the next generation needs
-	// all P arrivals to complete.
-	barArrived int
-	barGen     int
-	barClock   float64
-	barRelease float64
+	// state is the packed (recvBlocked, barParked, done) word. Mutations
+	// happen only while holding the transitioning rank's mailbox lock (or
+	// the barrier lock), which is what lets the deadlock verifier freeze
+	// the counters by holding every lock.
+	state atomic.Uint64
+
+	// failed flips once, after failMsg is set; parked ranks observe it and
+	// abort. detMu serializes deadlock verification and failure injection.
+	failed  atomic.Bool
+	failMsg string
+	detMu   sync.Mutex
+
+	// bar is the generation-counted reusable barrier. departing counts
+	// waiters of a released generation that have not yet left — evidence
+	// of pending wakeups for the deadlock verifier.
+	bar struct {
+		mu        sync.Mutex
+		cond      sync.Cond
+		arrived   int
+		departing int
+		gen       int
+		clock     float64
+		release   float64
+	}
 
 	trace   *Trace
 	traffic *TrafficMatrix
@@ -93,19 +239,20 @@ type World struct {
 	ranks []Rank
 }
 
-type pairKey struct{ src, dst int }
-
 // NewWorld creates a machine with p ranks and the given cost model.
 func NewWorld(p int, cfg Config) *World {
-	if p <= 0 {
-		panic(fmt.Sprintf("machine: world size %d", p))
+	if p <= 0 || p > MaxRanks {
+		panic(fmt.Sprintf("machine: world size %d (supported: 1..%d)", p, MaxRanks))
 	}
 	w := &World{
-		p:      p,
-		cfg:    cfg,
-		queues: make(map[pairKey]msgQueue),
+		p:     p,
+		cfg:   cfg,
+		boxes: make([]mailbox, p),
 	}
-	w.cond = sync.NewCond(&w.mu)
+	for i := range w.boxes {
+		w.boxes[i].cond.L = &w.boxes[i].mu
+	}
+	w.bar.cond.L = &w.bar.mu
 	// Ranks are allocated in one block; per-phase stat maps are created
 	// lazily on first use (see Rank.addPhase).
 	w.ranks = make([]Rank, p)
@@ -141,14 +288,7 @@ func (w *World) Run(body func(*Rank)) (err error) {
 				// A rank that returns while peers still wait for its
 				// messages leaves them stuck: fold completion into the
 				// deadlock check.
-				w.mu.Lock()
-				w.done++
-				if w.deadlockedLocked() {
-					w.failed = true
-					w.failMsg = fmt.Sprintf("deadlock: %d ranks finished, the rest blocked with no messages in flight", w.done)
-				}
-				w.mu.Unlock()
-				w.cond.Broadcast()
+				w.finishRank(r.id)
 			}()
 			body(r)
 		}(&w.ranks[i])
@@ -162,88 +302,188 @@ func (w *World) Run(body func(*Rank)) (err error) {
 	return nil
 }
 
-// fail marks the world failed and wakes all blocked ranks so they can abort
-// instead of waiting forever for messages that will never arrive.
-func (w *World) fail(msg string) {
-	w.mu.Lock()
-	if !w.failed {
-		w.failed = true
-		w.failMsg = msg
+// finishRank records a rank's normal completion and runs the deadlock
+// check: completion is a transition into the idle set, so it can be the
+// step that strands the remaining ranks.
+func (w *World) finishRank(id int) {
+	mb := &w.boxes[id]
+	mb.mu.Lock()
+	s := w.state.Add(doneUnit)
+	mb.mu.Unlock()
+	if stateSum(s) == w.p {
+		w.verifyStalled()
 	}
-	w.mu.Unlock()
-	w.cond.Broadcast()
 }
 
-// send enqueues a message (eager, non-blocking delivery).
-func (w *World) send(m *message) {
-	w.mu.Lock()
-	key := pairKey{m.src, m.dst}
-	q := w.queues[key]
-	if q.tail == nil {
-		q.head, q.tail = m, m
-	} else {
-		q.tail.next = m
-		q.tail = m
+// fail marks the world failed and wakes all parked ranks so they can abort
+// instead of waiting forever for messages that will never arrive. Taking
+// each mailbox lock before broadcasting orders the wakeup after any
+// receiver's park-or-proceed decision, so no rank sleeps through it.
+func (w *World) fail(msg string) {
+	w.detMu.Lock()
+	if !w.failed.Load() {
+		w.failMsg = msg
+		w.failed.Store(true)
 	}
-	w.queues[key] = q
-	w.inflight++
-	w.mu.Unlock()
-	w.cond.Broadcast()
+	w.detMu.Unlock()
+	w.wakeAll()
+}
+
+// wakeAll broadcasts on every mailbox and the barrier so parked ranks
+// re-check the failure flag.
+func (w *World) wakeAll() {
+	for i := range w.boxes {
+		mb := &w.boxes[i]
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	w.bar.mu.Lock()
+	w.bar.cond.Broadcast()
+	w.bar.mu.Unlock()
+}
+
+// abort panics with the recorded failure message.
+func (w *World) abort() {
+	panic("machine: aborted: " + w.failMsg)
+}
+
+// send enqueues a message (eager, non-blocking delivery), signalling the
+// receiver only if it is parked waiting for exactly this (src, tag). The
+// sender uncounts the matched receiver on its behalf, under the mailbox
+// lock, so a rank with a delivered-but-unconsumed wakeup is classified as
+// running, not blocked: the phase-1 stall check (sum == P) then only fires
+// when no rank has a pending wakeup, instead of on every transient
+// everyone-parked scheduling state.
+func (w *World) send(m *message) {
+	mb := &w.boxes[m.dst]
+	mb.mu.Lock()
+	mb.enqueue(m)
+	wake := mb.waiting && mb.wantSrc == m.src && mb.wantTag == m.tag
+	if wake {
+		mb.waiting = false
+		w.state.Add(neg(recvUnit))
+	}
+	mb.mu.Unlock()
+	if wake {
+		mb.cond.Signal()
+	}
 }
 
 // recv blocks until a message from src to dst with the given tag is
 // available and returns it, preserving FIFO order among same-tag messages.
 func (w *World) recv(dst, src, tag int) *message {
-	key := pairKey{src, dst}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	mb := &w.boxes[dst]
+	mb.mu.Lock()
+	if w.failed.Load() {
+		mb.mu.Unlock()
+		w.abort()
+	}
+	if m := mb.take(src, tag); m != nil {
+		mb.mu.Unlock()
+		return m
+	}
+	// Park: advertise what we wait for, count ourselves blocked, and run
+	// the phase-1 deadlock check on the packed sum returned by our own
+	// increment — parking may be the transition that strands the world,
+	// and the last rank to go idle always observes sum == P and verifies.
+	// The matching sender uncounts us and clears waiting when it delivers,
+	// so we stay counted — and verify at most once — exactly as long as we
+	// are genuinely blocked.
+	mb.waiting, mb.wantSrc, mb.wantTag = true, src, tag
+	if s := w.state.Add(recvUnit); stateSum(s) == w.p {
+		// Possible global stall. Verification takes every mailbox lock,
+		// so drop ours first; we stay counted and marked waiting — the
+		// verifier treats us exactly like a parked rank — then re-scan,
+		// since a message may have landed during verification.
+		mb.mu.Unlock()
+		w.verifyStalled()
+		mb.mu.Lock()
+	}
 	for {
-		if w.failed {
-			panic("machine: aborted: " + w.failMsg)
+		if w.failed.Load() {
+			if mb.waiting {
+				mb.waiting = false
+				w.state.Add(neg(recvUnit))
+			}
+			mb.mu.Unlock()
+			w.abort()
 		}
-		q := w.queues[key]
-		var prev *message
-		for m := q.head; m != nil; prev, m = m, m.next {
-			if m.tag != tag {
-				continue
+		if !mb.waiting {
+			// A sender matched our advertised (src, tag): it uncounted us
+			// and left the message at the head of its FIFO queue.
+			m := mb.take(src, tag)
+			if m == nil {
+				panic("machine: woken without a matching message")
 			}
-			if prev == nil {
-				q.head = m.next
-			} else {
-				prev.next = m.next
-			}
-			if q.tail == m {
-				q.tail = prev
-			}
-			w.queues[key] = q
-			m.next = nil
-			w.inflight--
+			mb.mu.Unlock()
 			return m
 		}
-		w.blocked++
-		if w.deadlockedLocked() {
-			w.failed = true
-			w.failMsg = fmt.Sprintf("deadlock: all %d ranks blocked (%d in Recv, %d in Barrier) with no messages in flight", w.p, w.blocked, w.barArrived)
-			w.blocked--
-			w.cond.Broadcast()
-			panic("machine: " + w.failMsg)
-		}
-		w.cond.Wait()
-		w.blocked--
+		mb.cond.Wait()
 	}
 }
 
-// deadlockedLocked reports (with w.mu held) whether the simulation can make
-// no further progress: every rank is blocked (in Recv or in Barrier) or has
-// already returned, with no messages in flight and at least one rank
-// waiting for a message. (If every unfinished rank were in the Barrier it
-// would release normally; a Barrier waiter with some ranks finished can
-// never be released and is also caught here once a Recv waiter exists —
-// all-Barrier-plus-done configurations abort via the barrier path's own
-// generation check never firing, which this predicate does not cover, so
-// algorithms must not mix Barrier with early rank exit.)
-func (w *World) deadlockedLocked() bool {
-	return w.blocked > 0 && w.blocked+w.barArrived+w.done == w.p && w.inflight == 0
+// verifyStalled is phase 2 of deadlock detection: freeze all scheduler
+// state by holding the detector mutex, every mailbox lock, and the barrier
+// lock, then decide exactly whether the simulation can ever make progress.
+// With the locks held no rank can park, unpark, finish, send, or consume,
+// so the packed counters and queue contents form a consistent snapshot. A
+// rank counted idle but due to wake leaves evidence the verifier checks: a
+// parked receiver with a matching queued message (its sender signalled it),
+// or barrier waiters whose generation was already released (departing > 0).
+func (w *World) verifyStalled() {
+	w.detMu.Lock()
+	defer w.detMu.Unlock()
+	if w.failed.Load() {
+		return
+	}
+	for i := range w.boxes {
+		w.boxes[i].mu.Lock()
+	}
+	w.bar.mu.Lock()
+	defer func() {
+		w.bar.mu.Unlock()
+		for i := range w.boxes {
+			w.boxes[i].mu.Unlock()
+		}
+	}()
+
+	recvBlocked, barParked, done := unpackState(w.state.Load())
+	if recvBlocked+barParked+done != w.p {
+		return // raced with a wakeup: somebody is running again
+	}
+	if done == w.p || w.bar.departing > 0 {
+		return // normal termination, or barrier waiters on their way out
+	}
+	inflight := 0
+	for i := range w.boxes {
+		mb := &w.boxes[i]
+		inflight += mb.inflight
+		if mb.waiting && mb.peek(mb.wantSrc, mb.wantTag) {
+			return // pending wakeup: a matching message is queued
+		}
+	}
+
+	// Verified: every rank is blocked, parked, or finished, no blocked
+	// Recv can be satisfied, and (with finished ranks) no Barrier can
+	// complete. Nothing will ever run again — abort the world.
+	var msg string
+	switch {
+	case recvBlocked == 0 && barParked > 0 && done > 0:
+		msg = fmt.Sprintf("deadlock: %d ranks in Barrier can never be released (%d ranks already finished)", barParked, done)
+	case recvBlocked == 0:
+		return // all-Barrier with no finisher resolves via the barrier itself
+	case barParked > 0 || done > 0:
+		msg = fmt.Sprintf("deadlock: %d ranks blocked in Recv, %d in Barrier, %d finished, with %d undeliverable messages in flight", recvBlocked, barParked, done, inflight)
+	default:
+		msg = fmt.Sprintf("deadlock: all %d ranks blocked in Recv with %d undeliverable messages in flight", recvBlocked, inflight)
+	}
+	w.failMsg = msg
+	w.failed.Store(true)
+	for i := range w.boxes {
+		w.boxes[i].cond.Broadcast()
+	}
+	w.bar.cond.Broadcast()
 }
 
 // Stats aggregates the per-rank statistics after Run has completed.

@@ -192,6 +192,118 @@ func TestDeadlockDetectionRecvPlusBarrier(t *testing.T) {
 	}
 }
 
+// TestDeadlockDetectionBarrierWithEarlyExit is the regression test for the
+// detection gap the old engine documented in deadlockedLocked: ranks parked
+// in Barrier combined with a rank that returned early used to hang forever
+// instead of aborting, because the all-Recv-shaped check never examined
+// barrier waiters against finished ranks.
+func TestDeadlockDetectionBarrierWithEarlyExit(t *testing.T) {
+	w := NewWorld(4, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			return // exits without reaching the barrier: it can never release
+		}
+		r.Barrier()
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "Barrier") {
+		t.Fatalf("expected the barrier-specific diagnosis, got %v", err)
+	}
+}
+
+// TestDeadlockDetectionUndeliverableInflight: a message nobody will ever
+// consume (wrong tag) must not mask the stall — the receiver is blocked on
+// tag 6 while tag 5 sits in its mailbox and the sender has finished.
+func TestDeadlockDetectionUndeliverableInflight(t *testing.T) {
+	w := NewWorld(2, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 5, []float64{1})
+			return
+		}
+		r.Recv(0, 6)
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "1 undeliverable") {
+		t.Fatalf("expected the in-flight message to be reported, got %v", err)
+	}
+}
+
+// TestDeadlockDetectionMixedRecvBarrierExit drives all three idle states at
+// once: one rank finished, one parked in Barrier, the rest blocked in Recv.
+func TestDeadlockDetectionMixedRecvBarrierExit(t *testing.T) {
+	w := NewWorld(4, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			return
+		case 1:
+			r.Barrier()
+		default:
+			r.Recv(0, 9)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+// TestConcurrentTaggedSendsStress floods every mailbox with messages on
+// many tags at once and consumes them out of send order: each rank sends
+// two messages per tag to every other rank, and receivers drain each
+// sender's tags in reverse, so at peak every per-(src,dst) queue holds
+// messages for several tags and the scheduler's targeted wakeups must pick
+// the one the receiver advertised. FIFO order within a (src, tag) pair must
+// still hold.
+func TestConcurrentTaggedSendsStress(t *testing.T) {
+	const (
+		p       = 48
+		tags    = 4
+		perTag  = 2
+		payload = 3
+	)
+	w := NewWorld(p, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		me := r.ID()
+		buf := make([]float64, payload)
+		for dst := 0; dst < p; dst++ {
+			if dst == me {
+				continue
+			}
+			for tag := 0; tag < tags; tag++ {
+				for seq := 0; seq < perTag; seq++ {
+					buf[0] = float64(me)
+					buf[1] = float64(tag)
+					buf[2] = float64(seq)
+					r.Send(dst, tag, buf)
+				}
+			}
+		}
+		for src := 0; src < p; src++ {
+			if src == me {
+				continue
+			}
+			for tag := tags - 1; tag >= 0; tag-- { // reverse of send order
+				for seq := 0; seq < perTag; seq++ {
+					got := r.Recv(src, tag)
+					if got[0] != float64(src) || got[1] != float64(tag) || got[2] != float64(seq) {
+						t.Errorf("rank %d from %d tag %d: got (%v,%v,%v), want (%d,%d,%d)",
+							me, src, tag, got[0], got[1], got[2], src, tag, seq)
+					}
+					r.PutBuffer(got)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRankPanicPropagatesAndUnblocksPeers(t *testing.T) {
 	w := NewWorld(2, BandwidthOnly())
 	err := w.Run(func(r *Rank) {

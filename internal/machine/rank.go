@@ -163,40 +163,56 @@ func (r *Rank) Compute(flops float64) {
 // device separating phases, not an algorithmic collective.
 func (r *Rank) Barrier() {
 	w := r.world
-	w.mu.Lock()
-	if r.clock > w.barClock {
-		w.barClock = r.clock
+	b := &w.bar
+	b.mu.Lock()
+	if w.failed.Load() {
+		b.mu.Unlock()
+		w.abort()
 	}
-	w.barArrived++
-	if w.barArrived == w.p {
-		// Last arrival releases the generation: publish the max clock and
-		// reset accumulation state for the next generation.
-		w.barRelease = w.barClock
-		w.barClock = 0
-		w.barArrived = 0
-		w.barGen++
-		r.clock = w.barRelease
-		w.mu.Unlock()
-		w.cond.Broadcast()
+	if r.clock > b.clock {
+		b.clock = r.clock
+	}
+	if b.arrived == w.p-1 {
+		// Last arrival releases the generation: publish the max clock,
+		// uncount the waiters in one step (a released waiter has a pending
+		// wakeup, so it counts as running, not parked), mark them as
+		// departing, and reset for the next generation.
+		b.release = b.clock
+		b.clock = 0
+		b.departing += b.arrived
+		w.state.Add(neg(uint64(b.arrived) * barUnit))
+		b.arrived = 0
+		b.gen++
+		r.clock = b.release
+		b.mu.Unlock()
+		b.cond.Broadcast()
 		return
 	}
-	if w.deadlockedLocked() {
-		w.failed = true
-		w.failMsg = "deadlock: ranks split between Recv and Barrier with no messages in flight"
-		w.mu.Unlock()
-		w.cond.Broadcast()
-		panic("machine: " + w.failMsg)
+	b.arrived++
+	gen := b.gen
+	// Park: count ourselves and run the phase-1 deadlock check — arriving
+	// at a barrier some ranks can never reach (blocked Recv, early exit)
+	// may be the transition that strands the world. The releasing rank
+	// uncounts us, so we stay counted exactly while the generation is
+	// still pending.
+	if s := w.state.Add(barUnit); stateSum(s) == w.p {
+		b.mu.Unlock()
+		w.verifyStalled()
+		b.mu.Lock()
 	}
-	gen := w.barGen
-	for w.barGen == gen && !w.failed {
-		w.cond.Wait()
+	for b.gen == gen && !w.failed.Load() {
+		b.cond.Wait()
 	}
-	if w.failed {
-		w.mu.Unlock()
-		panic("machine: aborted: " + w.failMsg)
+	if b.gen == gen {
+		// Not released: the world failed while we waited, and we are
+		// still counted (only a release uncounts waiters).
+		w.state.Add(neg(barUnit))
+		b.mu.Unlock()
+		w.abort()
 	}
-	r.clock = w.barRelease
-	w.mu.Unlock()
+	b.departing--
+	r.clock = b.release
+	b.mu.Unlock()
 }
 
 // GrowMemory records an allocation of the given number of words in the

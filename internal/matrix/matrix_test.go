@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -188,6 +189,52 @@ func TestMulAddAccumulates(t *testing.T) {
 	}
 }
 
+func TestMulIntoOverwritesDirtyDestination(t *testing.T) {
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1}, {4, 5, 6}, {65, 33, 17},
+		// k > mulJBlock exercises the j-tiled path across a block boundary.
+		{8, 40, 600},
+	}
+	for _, s := range shapes {
+		a := Random(s.m, s.n, uint64(s.m*100+s.n))
+		b := Random(s.n, s.k, uint64(s.n*100+s.k))
+		want := Mul(a, b)
+		c := Random(s.m, s.k, 99) // dirty destination must be ignored
+		if got := c.MulInto(a, b); got != c {
+			t.Fatalf("MulInto must return its receiver")
+		}
+		// Bit-identical to Mul: the tiling must not reorder any summation.
+		for i := 0; i < s.m; i++ {
+			for j := 0; j < s.k; j++ {
+				if c.At(i, j) != want.At(i, j) {
+					t.Fatalf("MulInto (%d,%d) = %v, Mul gives %v (shape %dx%dx%d)",
+						i, j, c.At(i, j), want.At(i, j), s.m, s.n, s.k)
+				}
+			}
+		}
+		if !c.Equal(MulNaive(a, b), 1e-9) {
+			t.Fatalf("MulInto diverges from naive oracle for %dx%dx%d", s.m, s.n, s.k)
+		}
+	}
+}
+
+func TestMulIntoValMatchesMulInto(t *testing.T) {
+	a := Random(20, 30, 5)
+	b := Random(30, 40, 6)
+	want := Mul(a, b)
+	for _, workers := range []int{1, 4} {
+		buf := make([]float64, 20*40)
+		for i := range buf {
+			buf[i] = -1 // dirty
+		}
+		c := Wrap(20, 40, buf)
+		MulIntoVal(c, Wrap(20, 30, a.Pack()), Wrap(30, 40, b.Pack()), workers)
+		if !c.Equal(want, 0) {
+			t.Fatalf("MulIntoVal(workers=%d) mismatch: max diff %g", workers, c.MaxAbsDiff(want))
+		}
+	}
+}
+
 func TestMulShapeMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -205,6 +252,24 @@ func TestMulParallelWorkerCounts(t *testing.T) {
 		if got := MulParallel(a, b, w); !got.Equal(want, 1e-9) {
 			t.Fatalf("MulParallel(workers=%d) mismatch", w)
 		}
+	}
+}
+
+// BenchmarkMulInto measures the tiled local kernel that backs the simulated
+// ranks' local compute; sizes straddle the mulJBlock boundary so the j-tiled
+// path is exercised.
+func BenchmarkMulInto(b *testing.B) {
+	for _, n := range []int{128, 384, 768} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x := Random(n, n, 1)
+			y := Random(n, n, 2)
+			c := New(n, n)
+			b.SetBytes(int64(8 * n * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.MulInto(x, y)
+			}
+		})
 	}
 }
 

@@ -11,6 +11,13 @@ import (
 // communication costs that the rest of the repository studies.
 const mulBlock = 64
 
+// mulJBlock tiles the j (output-column) dimension so the b-panel and c-row
+// segments touched by one (i,k) tile stay L2-resident even when b has many
+// columns: the working set per tile is bounded by mulBlock·mulJBlock words
+// instead of mulBlock·b.cols. Tiling j never reorders the per-element
+// k-summation, so results stay bit-identical to the untiled kernel.
+const mulJBlock = 512
+
 // Mul returns the product a·b using the blocked sequential kernel.
 // It panics if the inner dimensions disagree.
 func Mul(a, b *Dense) *Dense {
@@ -26,29 +33,61 @@ func MulAdd(c, a, b *Dense) {
 	mulAddRange(c, a, b, 0, a.rows)
 }
 
-// mulAddRange accumulates rows [i0, i1) of the product into c.
+// mulAddRange accumulates rows [i0, i1) of the product into c with a blocked
+// i-k-j loop nest, tiled over all three dimensions. For each output element
+// the k-summands are added in ascending k order — the j tiling only narrows
+// which columns an (i,k) tile updates — so the floating-point result is
+// independent of the tile sizes.
 func mulAddRange(c, a, b *Dense, i0, i1 int) {
 	n2 := a.cols
+	n3 := b.cols
 	for ib := i0; ib < i1; ib += mulBlock {
 		iMax := min(ib+mulBlock, i1)
-		for kb := 0; kb < n2; kb += mulBlock {
-			kMax := min(kb+mulBlock, n2)
-			for i := ib; i < iMax; i++ {
-				arow := a.Row(i)
-				crow := c.Row(i)
-				for k := kb; k < kMax; k++ {
-					aik := arow[k]
-					if aik == 0 {
-						continue
-					}
-					brow := b.Row(k)
-					for j, bv := range brow {
-						crow[j] += aik * bv
+		for jb := 0; jb < n3; jb += mulJBlock {
+			jMax := min(jb+mulJBlock, n3)
+			for kb := 0; kb < n2; kb += mulBlock {
+				kMax := min(kb+mulBlock, n2)
+				for i := ib; i < iMax; i++ {
+					arow := a.Row(i)
+					crow := c.Row(i)[jb:jMax]
+					for k := kb; k < kMax; k++ {
+						aik := arow[k]
+						if aik == 0 {
+							continue
+						}
+						brow := b.Row(k)[jb:jMax]
+						for j, bv := range brow {
+							crow[j] += aik * bv
+						}
 					}
 				}
 			}
 		}
 	}
+}
+
+// MulInto computes c = a·b with the blocked kernel, reusing c's existing
+// storage (c is zeroed first), and returns c. It is the allocation-free
+// counterpart of Mul for callers that hold a destination — typically a
+// pooled buffer wrapped with Wrap — and panics on shape mismatch.
+func (c *Dense) MulInto(a, b *Dense) *Dense {
+	checkMulShapes(c, a, b)
+	c.Zero()
+	mulAddRange(c, a, b, 0, a.rows)
+	return c
+}
+
+// MulIntoVal is MulInto on matrix values (typically Wrap-ped pooled
+// buffers): like MulAddVal, the sequential path keeps the headers on the
+// caller's stack, and workers > 1 delegates to the parallel kernel.
+func MulIntoVal(c, a, b Dense, workers int) {
+	checkMulShapes(&c, &a, &b)
+	c.Zero()
+	if workers > 1 {
+		mulAddParallelCopy(c, a, b, workers)
+		return
+	}
+	mulAddRange(&c, &a, &b, 0, a.rows)
 }
 
 // MulParallel returns a·b computed with up to workers goroutines splitting

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
@@ -37,6 +38,11 @@ type Config struct {
 	// MaxBatch bounds the batch length of batch requests; ≤ 0 selects
 	// 1024.
 	MaxBatch int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ so simulator
+	// hotspots are profilable in production. Off by default: the profile
+	// endpoints expose internals and can themselves burn CPU, so they are
+	// opt-in (parmmd -pprof).
+	EnablePprof bool
 }
 
 // withDefaults fills the zero fields.
@@ -105,6 +111,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 

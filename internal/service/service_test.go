@@ -78,6 +78,26 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+func TestPprofGatedByConfig(t *testing.T) {
+	// Off by default: the profile endpoints must not exist.
+	_, ts := newTestServer(t)
+	if status, _ := get(t, ts, "/debug/pprof/"); status != http.StatusNotFound {
+		t.Fatalf("pprof disabled but /debug/pprof/ answered %d", status)
+	}
+
+	s := New(Config{Workers: 2, EnablePprof: true})
+	tsOn := httptest.NewServer(s.Handler())
+	defer tsOn.Close()
+	defer s.Shutdown(context.Background())
+	status, raw := get(t, tsOn, "/debug/pprof/")
+	if status != http.StatusOK {
+		t.Fatalf("pprof enabled but /debug/pprof/ answered %d", status)
+	}
+	if !bytes.Contains(raw, []byte("goroutine")) {
+		t.Fatalf("pprof index does not list profiles: %.200s", raw)
+	}
+}
+
 func TestLowerBoundSingle(t *testing.T) {
 	_, ts := newTestServer(t)
 	status, raw := post(t, ts, "/v1/lowerbound", `{"n1":9600,"n2":2400,"n3":600,"p":512}`)
