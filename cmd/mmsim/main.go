@@ -33,7 +33,8 @@ func main() {
 	gamma := flag.Float64("gamma", 0, "per-flop compute cost")
 	layers := flag.Int("layers", 0, "2.5D replication factor (0 = auto)")
 	seed := flag.Uint64("seed", 1, "input matrix seed")
-	trace := flag.Bool("trace", false, "print a simulated-time Gantt timeline (single algorithm only)")
+	trace := flag.String("trace", "", "write a Chrome-trace JSON file (chrome://tracing, Perfetto) to this path (single algorithm only)")
+	timeline := flag.Bool("timeline", false, "print a simulated-time Gantt timeline (single algorithm only)")
 	traffic := flag.Bool("traffic", false, "print the traffic heatmap (single algorithm only)")
 	flag.Parse()
 
@@ -45,7 +46,7 @@ func main() {
 	opts := algs.Opts{
 		Config:  machine.Config{Alpha: *alpha, Beta: *beta, Gamma: *gamma},
 		Layers:  *layers,
-		Trace:   *trace,
+		Trace:   *trace != "" || *timeline,
 		Traffic: *traffic,
 	}
 	a := matrix.Random(*n1, *n2, *seed)
@@ -114,12 +115,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mmsim: -traffic requires a single algorithm")
 		}
 	}
-	if *trace {
+	if *timeline {
 		if len(entries) == 1 && lastTrace != nil {
 			fmt.Println()
 			fmt.Print(lastTrace.Timeline(*p, 100))
 			fmt.Println()
 			fmt.Print(lastTrace.Summary(*p))
+		} else {
+			fmt.Fprintln(os.Stderr, "mmsim: -timeline requires a single algorithm")
+		}
+	}
+	if *trace != "" {
+		if len(entries) == 1 && lastTrace != nil {
+			if err := writeChromeTrace(*trace, lastTrace, *p); err != nil {
+				fmt.Fprintf(os.Stderr, "mmsim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *trace)
 		} else {
 			fmt.Fprintln(os.Stderr, "mmsim: -trace requires a single algorithm")
 		}
@@ -127,6 +139,18 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func writeChromeTrace(path string, tr *machine.Trace, p int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func ratio(a, b float64) float64 {

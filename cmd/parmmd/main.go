@@ -10,12 +10,15 @@
 //
 // Endpoints: POST /v1/lowerbound (single and batch), POST /v1/grid,
 // POST /v1/predict, POST /v1/simulate (async; poll GET /v1/jobs/{id},
-// cancel with DELETE), GET /healthz, GET /debug/vars, and — with -pprof —
-// the net/http/pprof profiles under GET /debug/pprof/. Expensive pure
-// computations are memoized in a sharded LRU; simulations run on a bounded
-// job pool with per-job deadlines. SIGINT/SIGTERM shut down gracefully:
-// the listener closes, then in-flight jobs drain (up to -drain), then
-// whatever remains is cancelled through its context.
+// cancel with DELETE), GET /healthz, GET /metrics (Prometheus text
+// format), GET /debug/vars, and — with -pprof — the net/http/pprof
+// profiles under GET /debug/pprof/. Expensive pure computations are
+// memoized in a sharded LRU; simulations run on a bounded job pool with
+// per-job deadlines, and finished jobs stay queryable for -job-ttl (capped
+// at -job-retain) before eviction. Every request is answered with an
+// X-Request-ID and logged as one JSON line on stderr. SIGINT/SIGTERM shut
+// down gracefully: the listener closes, then in-flight jobs drain (up to
+// -drain), then whatever remains is cancelled through its context.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -43,18 +47,33 @@ func main() {
 	maxFlops := flag.Float64("max-sim-flops", 1e9, "largest n1·n2·n3 a simulation may request")
 	maxProcs := flag.Int("max-sim-procs", 4096, "largest P a simulation may request")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "how long finished jobs stay queryable (negative: forever)")
+	jobRetain := flag.Int("job-retain", 4096, "max finished jobs kept regardless of age (negative: uncapped)")
+	accessLog := flag.Bool("access-log", true, "log one JSON line per request to stderr")
 	flag.Parse()
 
+	// Turn on the simulator/collective instrumentation so /metrics carries
+	// machine_* and collective_* families; the flag costs one atomic load
+	// per counter site, and the service exists to run simulations worth
+	// observing.
+	obs.SetEnabled(true)
+
 	experiments.SetWorkers(*workers)
-	srv := service.New(service.Config{
-		CacheSize:   *cacheSize,
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		JobTimeout:  *jobTimeout,
-		MaxSimFlops: *maxFlops,
-		MaxSimProcs: *maxProcs,
-		EnablePprof: *pprofOn,
-	})
+	cfg := service.Config{
+		CacheSize:       *cacheSize,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		JobTimeout:      *jobTimeout,
+		MaxSimFlops:     *maxFlops,
+		MaxSimProcs:     *maxProcs,
+		EnablePprof:     *pprofOn,
+		JobRetention:    *jobTTL,
+		MaxJobsRetained: *jobRetain,
+	}
+	if *accessLog {
+		cfg.AccessLog = os.Stderr
+	}
+	srv := service.New(cfg)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

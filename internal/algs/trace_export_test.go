@@ -1,0 +1,101 @@
+package algs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// chromeTraceDoc mirrors the Chrome Trace Event Format schema that
+// chrome://tracing and Perfetto consume; the test decodes the export
+// through it so schema drift fails loudly.
+type chromeTraceDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   *float64       `json:"ts"`
+		Dur  *float64       `json:"dur"`
+		Pid  *int           `json:"pid"`
+		Tid  *int           `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestAlg1ChromeTraceSchema runs a small Alg1 instance with tracing on and
+// checks the Chrome-trace export's shape: valid JSON in the trace-event
+// format, exactly one phase slice per rank for each of Algorithm 1's three
+// phases (All-Gather A, All-Gather B, Reduce-Scatter C), non-negative
+// durations, and per-rank thread metadata.
+func TestAlg1ChromeTraceSchema(t *testing.T) {
+	const p = 8
+	opts := bwOpts()
+	opts.Trace = true
+	a := matrix.Random(16, 16, 3)
+	b := matrix.Random(16, 16, 4)
+	res, err := Alg1(a, b, p, opts)
+	if err != nil {
+		t.Fatalf("Alg1: %v", err)
+	}
+	if res.Trace == nil {
+		t.Fatal("Opts.Trace set but Result.Trace is nil")
+	}
+
+	var buf bytes.Buffer
+	if err := res.Trace.WriteChromeTrace(&buf, p); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc chromeTraceDoc
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("export is not trace-event JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+
+	threadNames := map[int]bool{}
+	phaseSlices := map[string]map[int]int{} // phase name -> tid -> count
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				threadNames[*e.Tid] = true
+			}
+		case "X":
+			if e.Ts == nil || e.Dur == nil || e.Tid == nil {
+				t.Fatalf("event %d: X slice missing ts/dur/tid: %+v", i, e)
+			}
+			if *e.Dur < 0 {
+				t.Errorf("event %d (%s): negative duration %g", i, e.Name, *e.Dur)
+			}
+			if *e.Tid < 0 || *e.Tid >= p {
+				t.Errorf("event %d (%s): tid %d outside [0,%d)", i, e.Name, *e.Tid, p)
+			}
+			if e.Cat == "phase" {
+				if phaseSlices[e.Name] == nil {
+					phaseSlices[e.Name] = map[int]int{}
+				}
+				phaseSlices[e.Name][*e.Tid]++
+			}
+		default:
+			t.Errorf("event %d: unexpected phase type %q", i, e.Ph)
+		}
+	}
+	for r := 0; r < p; r++ {
+		if !threadNames[r] {
+			t.Errorf("missing thread_name metadata for rank %d", r)
+		}
+	}
+	for _, phase := range []string{PhaseGatherA, PhaseGatherB, PhaseReduceC} {
+		for r := 0; r < p; r++ {
+			if got := phaseSlices[phase][r]; got != 1 {
+				t.Errorf("phase %q rank %d: %d slices, want 1", phase, r, got)
+			}
+		}
+	}
+}

@@ -34,6 +34,7 @@ func (g *Group) AllGatherV(myBlock []float64, counts []int) []float64 {
 // caller; the collective only borrows it for the duration of the call (its
 // slices are serialized into pooled network buffers on send).
 func (g *Group) AllGatherVInto(myBlock []float64, counts []int, out []float64) []float64 {
+	g.countOp(mOpAllGather)
 	p := len(g.members)
 	if len(counts) != p {
 		panic(fmt.Sprintf("collective: %d counts for group of %d", len(counts), p))

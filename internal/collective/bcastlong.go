@@ -9,6 +9,7 @@ import "fmt"
 // right trade for large messages. The vector length must be known at every
 // member (passed via words); non-roots pass nil data.
 func (g *Group) BcastLong(data []float64, root, words int) []float64 {
+	g.countOp(mOpBcastLong)
 	p := len(g.members)
 	if root < 0 || root >= p {
 		panic(fmt.Sprintf("collective: BcastLong root %d of %d", root, p))

@@ -9,6 +9,7 @@ import "fmt"
 // is the latency-optimal trade for small blocks on non-power-of-two groups
 // (Bruck et al. 1997; Thakur et al. 2005). Blocks must be equal-sized.
 func (g *Group) AllGatherBruck(myBlock []float64) []float64 {
+	g.countOp(mOpAllGatherBruck)
 	p := len(g.members)
 	w := len(myBlock)
 	out := make([]float64, p*w)

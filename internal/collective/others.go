@@ -6,6 +6,7 @@ import "fmt"
 // members using a binomial tree (log₂(p) rounds). Every member returns the
 // broadcast vector; non-root callers pass nil.
 func (g *Group) Bcast(data []float64, root int) []float64 {
+	g.countOp(mOpBcast)
 	p := len(g.members)
 	if root < 0 || root >= p {
 		panic(fmt.Sprintf("collective: Bcast root %d of %d", root, p))
@@ -43,6 +44,7 @@ func (g *Group) Bcast(data []float64, root int) []float64 {
 // receive temporaries come from the machine's buffer arena, so non-root
 // members allocate nothing in steady state.
 func (g *Group) Reduce(data []float64, root int) []float64 {
+	g.countOp(mOpReduce)
 	p := len(g.members)
 	if root < 0 || root >= p {
 		panic(fmt.Sprintf("collective: Reduce root %d of %d", root, p))
@@ -96,6 +98,7 @@ func (g *Group) Reduce(data []float64, root int) []float64 {
 // 2(1 − 1/p)·w; intermediates live in pooled buffers, so the only heap
 // allocation is the returned result.
 func (g *Group) AllReduce(data []float64) []float64 {
+	g.countOp(mOpAllReduce)
 	p := len(g.members)
 	out := make([]float64, len(data))
 	if p == 1 {
@@ -117,6 +120,7 @@ func (g *Group) AllReduce(data []float64) []float64 {
 // that member. Own block is passed through locally. The pairwise-exchange
 // schedule uses p−1 steps with send-to (me+s), receive-from (me−s).
 func (g *Group) AllToAll(blocks [][]float64) [][]float64 {
+	g.countOp(mOpAllToAll)
 	p := len(g.members)
 	if len(blocks) != p {
 		panic(fmt.Sprintf("collective: AllToAll got %d blocks for group of %d", len(blocks), p))
@@ -138,6 +142,7 @@ func (g *Group) AllToAll(blocks [][]float64) [][]float64 {
 // members send directly to the root; the root's bandwidth W − w_root is
 // optimal for gathers.
 func (g *Group) Gather(myBlock []float64, root int) [][]float64 {
+	g.countOp(mOpGather)
 	p := len(g.members)
 	if root < 0 || root >= p {
 		panic(fmt.Sprintf("collective: Gather root %d of %d", root, p))
@@ -161,6 +166,7 @@ func (g *Group) Gather(myBlock []float64, root int) [][]float64 {
 // Scatter distributes blocks from the root: member i receives blocks[i].
 // Non-root callers pass nil.
 func (g *Group) Scatter(blocks [][]float64, root int) []float64 {
+	g.countOp(mOpScatter)
 	p := len(g.members)
 	if root < 0 || root >= p {
 		panic(fmt.Sprintf("collective: Scatter root %d of %d", root, p))
@@ -186,6 +192,7 @@ func (g *Group) Scatter(blocks [][]float64, root int) []float64 {
 // clock alignment via max exchange. For measurement-phase separation on the
 // whole world prefer machine.Rank.Barrier.
 func (g *Group) Barrier() {
+	g.countOp(mOpBarrier)
 	p := len(g.members)
 	if p == 1 {
 		return

@@ -47,6 +47,7 @@ func (g *Group) ReduceScatterV(data []float64, counts []int) []float64 {
 // Incoming chunks land in pooled network buffers that are recycled
 // immediately, keeping the per-step heap allocation at zero.
 func (g *Group) ReduceScatterVInto(data []float64, counts []int, out, scratch []float64) []float64 {
+	g.countOp(mOpReduceScatter)
 	p := len(g.members)
 	if len(counts) != p {
 		panic(fmt.Sprintf("collective: %d counts for group of %d", len(counts), p))

@@ -44,10 +44,30 @@ func (d Dims) Sorted() (m, n, k int) {
 	return v[2], v[1], v[0]
 }
 
-// Validate reports an error when any dimension is non-positive.
+// maxExactProduct is the largest integer float64 arithmetic represents
+// exactly (2^53). Everything downstream of Validate — Flops, the matrix
+// sizes, Lemma 2, Theorem 3 — computes products like n1·n2·n3 in float64,
+// so a shape whose pairwise or triple product exceeds this would silently
+// round and corrupt the bounds rather than fail.
+const maxExactProduct = int64(1) << 53
+
+// Validate reports an error when any dimension is non-positive, or when a
+// pairwise or triple product of the dimensions exceeds 2^53 and would lose
+// precision in the float64 arithmetic the bounds are computed with. Shapes
+// with n1·n2·n3 ≤ 2^53 (≈ 9.0e15) are exact.
 func (d Dims) Validate() error {
 	if d.N1 <= 0 || d.N2 <= 0 || d.N3 <= 0 {
 		return fmt.Errorf("core: dimensions must be positive, got %dx%dx%d: %w", d.N1, d.N2, d.N3, ErrBadDims)
+	}
+	// Overflow-free checks: for positive integers a·b > limit ⇔
+	// a > limit/b under integer division, so no product is formed before
+	// it is known to fit.
+	n1, n2, n3 := int64(d.N1), int64(d.N2), int64(d.N3)
+	if n1 > maxExactProduct/n2 || n2 > maxExactProduct/n3 || n1 > maxExactProduct/n3 {
+		return fmt.Errorf("core: dimensions %dx%dx%d overflow exact float64 range (pairwise product > 2^53): %w", d.N1, d.N2, d.N3, ErrBadDims)
+	}
+	if prod := n1 * n2; n3 > maxExactProduct/prod {
+		return fmt.Errorf("core: dimensions %dx%dx%d overflow exact float64 range (n1·n2·n3 > 2^53): %w", d.N1, d.N2, d.N3, ErrBadDims)
 	}
 	return nil
 }

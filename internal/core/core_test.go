@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -42,6 +43,39 @@ func TestValidate(t *testing.T) {
 	}
 	if err := (Dims{3, -1, 2}).Validate(); err == nil {
 		t.Fatal("expected error for negative dimension")
+	}
+}
+
+// TestValidateOverflow is the regression test for the silent-precision bug:
+// shapes whose products exceed 2^53 used to pass Validate and round in the
+// float64 bound arithmetic; now they are rejected with ErrBadDims.
+func TestValidateOverflow(t *testing.T) {
+	const big = 1 << 27 // big² = 2^54 > 2^53
+	reject := []Dims{
+		{big, big, 1},               // pairwise n1·n2 overflows
+		{1, big, big},               // pairwise n2·n3 overflows
+		{big, 1, big},               // pairwise n1·n3 overflows
+		{1 << 18, 1 << 18, 1 << 18}, // triple product 2^54 overflows, pairwise fine
+	}
+	for _, d := range reject {
+		err := d.Validate()
+		if err == nil {
+			t.Errorf("%v: expected overflow error", d)
+			continue
+		}
+		if !errors.Is(err, ErrBadDims) {
+			t.Errorf("%v: error %v does not wrap ErrBadDims", d, err)
+		}
+	}
+	accept := []Dims{
+		{1 << 26, 1 << 27, 1},       // n1·n2 = 2^53 exactly
+		{1 << 17, 1 << 18, 1 << 18}, // triple product 2^53 exactly
+		{94906265, 94906265, 1},     // largest square under 2^53
+	}
+	for _, d := range accept {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%v: unexpected error %v", d, err)
+		}
 	}
 }
 

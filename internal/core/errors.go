@@ -8,8 +8,10 @@ import "errors"
 // them onto status codes the same way. The root parmm package re-exports
 // them.
 var (
-	// ErrBadDims marks invalid matrix dimensions: non-positive sizes or
-	// operand shapes that do not conform.
+	// ErrBadDims marks invalid matrix dimensions: non-positive sizes,
+	// operand shapes that do not conform, or shapes so large their
+	// products exceed 2^53 and would lose precision in the float64
+	// arithmetic the bounds use.
 	ErrBadDims = errors.New("invalid matrix dimensions")
 
 	// ErrBadProcessorCount marks a processor count an algorithm cannot use:

@@ -45,9 +45,12 @@ func Map[T any](n int, fn func(int) (T, error)) ([]T, error) {
 // MapContext is Map honoring cancellation: workers stop picking up new
 // indexes once ctx is done, already-running fn calls finish, and the ctx
 // error is returned (taking precedence over any fn error, since the
-// un-evaluated indexes make the sweep incomplete either way). fn itself is
-// not passed the context; sweep points are short relative to a sweep, so
-// between-point cancellation is what long runs need.
+// un-evaluated indexes make the sweep incomplete either way). A failing fn
+// call likewise stops further claims — in-flight points finish, points not
+// yet claimed are never evaluated — without changing which error is
+// returned. fn itself is not passed the context; sweep points are short
+// relative to a sweep, so between-point cancellation is what long runs
+// need.
 func MapContext[T any](ctx context.Context, n int, fn func(int) (T, error)) ([]T, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -72,17 +75,36 @@ func MapContext[T any](ctx context.Context, n int, fn func(int) (T, error)) ([]T
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
+	// failedAt is the lowest index whose fn call has failed so far (n =
+	// none). Workers stop claiming once any failure is recorded: indexes
+	// are claimed monotonically, so everything below the recorded failure
+	// is already claimed and will finish, which keeps the
+	// lowest-failing-index contract exact while sparing the (possibly
+	// expensive) evaluation of every point above it.
+	var failedAt atomic.Int64
+	failedAt.Store(int64(n))
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
 			for ctx.Err() == nil {
+				if failedAt.Load() < int64(n) {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				out[i], errs[i] = fn(i)
+				if errs[i] != nil {
+					for {
+						cur := failedAt.Load()
+						if int64(i) >= cur || failedAt.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
 			}
 		}()
 	}
@@ -90,10 +112,8 @@ func MapContext[T any](ctx context.Context, n int, fn func(int) (T, error)) ([]T
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if f := failedAt.Load(); f < int64(n) {
+		return nil, errs[f]
 	}
 	return out, nil
 }

@@ -131,3 +131,35 @@ func TestParallelSweepByteIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestMapStopsClaimingAfterFailure is the regression test for the
+// early-abort bug: a multi-worker sweep used to keep claiming and
+// evaluating every remaining index after a point had already failed,
+// burning a full sweep's work to produce an error. Index 0 fails
+// immediately; every other point blocks until that failure is in flight,
+// so only points claimed before the failure was recorded may run — far
+// fewer than n.
+func TestMapStopsClaimingAfterFailure(t *testing.T) {
+	defer SetWorkers(0)
+	const workers, n = 8, 10_000
+	SetWorkers(workers)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	_, err := Map(n, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			close(gate)
+			return 0, errors.New("point 0")
+		}
+		<-gate
+		return i, nil
+	})
+	if err == nil || err.Error() != "point 0" {
+		t.Fatalf("err = %v, want point 0", err)
+	}
+	// Points already claimed when the failure lands are allowed to finish;
+	// anything near n means the pool kept claiming after the failure.
+	if c := calls.Load(); c > int64(workers*8) {
+		t.Fatalf("%d of %d points ran after index 0 failed", c, n)
+	}
+}

@@ -47,6 +47,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Config sets the machine cost parameters of the α-β-γ model.
@@ -259,6 +261,9 @@ func NewWorld(p int, cfg Config) *World {
 	for i := range w.ranks {
 		w.ranks[i] = Rank{id: i, world: w}
 	}
+	if obs.Enabled() {
+		mWorlds.Inc()
+	}
 	return w
 }
 
@@ -285,9 +290,10 @@ func (w *World) Run(body func(*Rank)) (err error) {
 					w.fail(fmt.Sprintf("rank %d panicked: %v", r.id, rec))
 					return
 				}
-				// A rank that returns while peers still wait for its
-				// messages leaves them stuck: fold completion into the
-				// deadlock check.
+				// Close any phase span left open by the body, then fold
+				// completion into the deadlock check: a rank that returns
+				// while peers still wait for its messages leaves them stuck.
+				r.endPhase()
 				w.finishRank(r.id)
 			}()
 			body(r)
@@ -477,6 +483,9 @@ func (w *World) verifyStalled() {
 		msg = fmt.Sprintf("deadlock: %d ranks blocked in Recv, %d in Barrier, %d finished, with %d undeliverable messages in flight", recvBlocked, barParked, done, inflight)
 	default:
 		msg = fmt.Sprintf("deadlock: all %d ranks blocked in Recv with %d undeliverable messages in flight", recvBlocked, inflight)
+	}
+	if obs.Enabled() {
+		mDeadlocks.Inc()
 	}
 	w.failMsg = msg
 	w.failed.Store(true)

@@ -1,6 +1,10 @@
 package machine
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Rank is one simulated processor. All methods must be called only from the
 // goroutine executing this rank's SPMD body.
@@ -10,6 +14,10 @@ type Rank struct {
 	clock float64
 	phase string
 	stats RankStats
+
+	// phaseStart is the clock when the current phase label was set; used by
+	// the trace's per-phase span recorder.
+	phaseStart float64
 
 	curMemory float64
 }
@@ -24,8 +32,26 @@ func (r *Rank) P() int { return r.world.p }
 func (r *Rank) Clock() float64 { return r.clock }
 
 // SetPhase labels subsequent communication for per-phase accounting (e.g.
-// "allgather-A"). The empty string disables attribution.
-func (r *Rank) SetPhase(name string) { r.phase = name }
+// "allgather-A"). The empty string disables attribution. With tracing
+// enabled, each contiguous stretch under one label is also recorded as a
+// PhaseSpan — the per-rank, per-phase intervals the Chrome-trace export
+// renders as one span per algorithm phase.
+func (r *Rank) SetPhase(name string) {
+	if t := r.world.trace; t != nil && name != r.phase {
+		if r.phase != "" {
+			t.addPhase(PhaseSpan{Rank: r.id, Phase: r.phase, Start: r.phaseStart, End: r.clock})
+		}
+		r.phaseStart = r.clock
+	}
+	r.phase = name
+}
+
+// endPhase closes a phase span left open when the SPMD body returns.
+func (r *Rank) endPhase() {
+	if r.phase != "" {
+		r.SetPhase("")
+	}
+}
 
 // Send posts a message of data to rank dst with the given tag. Sends are
 // eager (non-blocking): the sender's clock advances by the link-occupancy
@@ -57,6 +83,10 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 	r.stats.MsgsSent++
 	if r.phase != "" {
 		addPhase(&r.stats.PhaseSentWords, r.phase, w)
+	}
+	if obs.Enabled() {
+		mSends.Inc(r.id)
+		mWordsSent.Add(r.id, uint64(len(data)))
 	}
 	m := globalArena.getMsg()
 	m.src, m.dst, m.tag, m.data, m.sendClock = r.id, dst, tag, cp, r.clock
@@ -94,6 +124,10 @@ func (r *Rank) recvMsg(src, tag int) *message {
 	r.stats.MsgsRecv++
 	if r.phase != "" {
 		addPhase(&r.stats.PhaseRecvWords, r.phase, w)
+	}
+	if obs.Enabled() {
+		mRecvs.Inc(r.id)
+		mWordsRecv.Add(r.id, uint64(len(m.data)))
 	}
 	return m
 }
@@ -164,6 +198,9 @@ func (r *Rank) Compute(flops float64) {
 func (r *Rank) Barrier() {
 	w := r.world
 	b := &w.bar
+	if obs.Enabled() {
+		mBarrierWaits.Inc(r.id)
+	}
 	b.mu.Lock()
 	if w.failed.Load() {
 		b.mu.Unlock()

@@ -36,10 +36,22 @@ type Event struct {
 	Phase string
 }
 
-// Trace collects events from all ranks of a world.
+// PhaseSpan is one contiguous stretch of a rank's execution under a single
+// SetPhase label — the per-rank, per-phase interval the Chrome-trace export
+// renders as one span per algorithm phase (All-Gather A, All-Gather B,
+// Reduce-Scatter C for Algorithm 1).
+type PhaseSpan struct {
+	Rank  int
+	Phase string
+	Start float64
+	End   float64
+}
+
+// Trace collects events and phase spans from all ranks of a world.
 type Trace struct {
 	mu     sync.Mutex
 	events []Event
+	phases []PhaseSpan
 }
 
 // add appends an event (called from rank goroutines).
@@ -47,6 +59,28 @@ func (t *Trace) add(e Event) {
 	t.mu.Lock()
 	t.events = append(t.events, e)
 	t.mu.Unlock()
+}
+
+// addPhase appends a closed phase span (called from rank goroutines).
+func (t *Trace) addPhase(s PhaseSpan) {
+	t.mu.Lock()
+	t.phases = append(t.phases, s)
+	t.mu.Unlock()
+}
+
+// Phases returns the recorded phase spans sorted by (rank, start time).
+func (t *Trace) Phases() []PhaseSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PhaseSpan, len(t.phases))
+	copy(out, t.phases)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
 }
 
 // Events returns the recorded events sorted by (rank, start time).

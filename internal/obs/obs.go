@@ -1,0 +1,46 @@
+// Package obs is the repository's observability layer: hand-rolled,
+// dependency-free metric primitives (counters, gauges, histograms, striped
+// hot-path counters) grouped in registries that render the Prometheus text
+// exposition format.
+//
+// Design constraints, in order:
+//
+//  1. The simulator's message hot path (internal/machine Send/Recv) must
+//     stay zero-allocation and within noise of its uninstrumented cost.
+//     Every mutator here is a single atomic operation on pre-registered
+//     state; nothing on the update path allocates, formats, or locks.
+//  2. Instrumentation of the process-global hot paths is gated by one
+//     atomic bool (Enabled): when off — the default — the only cost at an
+//     instrumented site is that load and a predictable branch. Long-running
+//     servers (parmmd) switch it on at startup.
+//  3. High-frequency counters shared by thousands of simulated ranks use
+//     Striped cells (one padded cache line per stripe, indexed by rank) so
+//     enabling metrics does not serialize the sharded scheduler on a single
+//     contended cache line.
+//
+// Metrics are registered once (registration is idempotent: re-registering
+// the same name/labels returns the existing metric) and rendered on demand
+// with WritePrometheus. The process-wide Default registry holds the
+// machine- and collective-level metrics; servers own private registries for
+// per-instance state and concatenate both at scrape time.
+package obs
+
+import "sync/atomic"
+
+// enabled gates the process-global hot-path instrumentation sites
+// (internal/machine, internal/collective). Off by default so simulations
+// and benchmarks pay only a load+branch per site.
+var enabled atomic.Bool
+
+// Enabled reports whether hot-path instrumentation is on.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled switches hot-path instrumentation on or off. Long-running
+// servers call SetEnabled(true) at startup; tests may toggle it around a
+// measured region.
+func SetEnabled(v bool) { enabled.Store(v) }
+
+// Default is the process-wide registry holding the machine and collective
+// metrics. Server-scoped registries are concatenated with it at scrape
+// time.
+var Default = NewRegistry()

@@ -245,6 +245,12 @@ type VarsResponse struct {
 	JobsInFlight int64 `json:"jobsInFlight"`
 	// JobsTotal is the number of jobs ever accepted.
 	JobsTotal int `json:"jobsTotal"`
+	// JobsByState counts the jobs currently remembered per lifecycle
+	// state, after retention eviction.
+	JobsByState map[string]int `json:"jobsByState"`
+	// JobsEvicted is the cumulative number of finished jobs evicted by the
+	// retention policy (age or cap).
+	JobsEvicted int64 `json:"jobsEvicted"`
 	// WordsSimulated accumulates the network-wide words moved by completed
 	// simulations.
 	WordsSimulated float64 `json:"wordsSimulated"`

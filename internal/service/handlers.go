@@ -56,6 +56,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 	hits, misses := s.cache.Stats()
+	byState := make(map[string]int)
+	for st, n := range s.jobs.Counts() {
+		byState[string(st)] = n
+	}
 	writeJSON(w, http.StatusOK, VarsResponse{
 		Requests:       s.requests.Load(),
 		CacheHits:      hits,
@@ -63,6 +67,8 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 		CacheEntries:   s.cache.Len(),
 		JobsInFlight:   s.jobs.InFlight(),
 		JobsTotal:      int(s.jobsTotal.Load()),
+		JobsByState:    byState,
+		JobsEvicted:    s.jobs.Evicted(),
 		WordsSimulated: s.WordsSimulated(),
 	})
 }

@@ -80,34 +80,143 @@ type Runner struct {
 	jobs     map[string]*Job
 	queue    chan *Job
 	run      map[string]JobFunc // pending work, keyed by job id
+	terminal []*Job             // terminal jobs in retirement order (oldest first)
+	evicted  int64
 	timeout  time.Duration
+	retain   time.Duration
+	maxKeep  int
 	nextID   atomic.Int64
 	inFlight atomic.Int64
 	closed   bool
 	wg       sync.WaitGroup
+	stop     chan struct{} // closes the janitor on Shutdown
+}
+
+// RunnerConfig tunes a Runner. The zero value selects the defaults noted on
+// each field.
+type RunnerConfig struct {
+	// Workers is the pool width; ≤ 0 selects 2.
+	Workers int
+	// QueueDepth bounds the job queue; ≤ 0 selects 64.
+	QueueDepth int
+	// Timeout is the per-job deadline; 0 disables it.
+	Timeout time.Duration
+	// Retention is how long a finished job stays queryable before it is
+	// evicted. 0 selects ten minutes; negative retains forever. Without a
+	// bound, every job the service ever ran would sit in memory for the
+	// life of the process.
+	Retention time.Duration
+	// MaxRetained caps the number of finished jobs kept regardless of age,
+	// evicting oldest-first. 0 selects 4096; negative removes the cap.
+	MaxRetained int
+}
+
+// withDefaults fills the zero fields and normalizes the sentinels:
+// Retention < 0 and MaxRetained < 0 become "disabled" (stored as zero).
+func (c RunnerConfig) withDefaults() RunnerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Retention == 0 {
+		c.Retention = 10 * time.Minute
+	}
+	if c.Retention < 0 {
+		c.Retention = 0
+	}
+	if c.MaxRetained == 0 {
+		c.MaxRetained = 4096
+	}
+	if c.MaxRetained < 0 {
+		c.MaxRetained = 0
+	}
+	return c
 }
 
 // NewRunner starts a runner with the given worker count, queue depth, and
-// per-job timeout (0 means no deadline). workers and queueDepth default to
-// 2 and 64 when non-positive.
+// per-job timeout (0 means no deadline), using the default retention
+// policy. workers and queueDepth default to 2 and 64 when non-positive.
 func NewRunner(workers, queueDepth int, timeout time.Duration) *Runner {
-	if workers <= 0 {
-		workers = 2
-	}
-	if queueDepth <= 0 {
-		queueDepth = 64
-	}
+	return NewRunnerConfig(RunnerConfig{Workers: workers, QueueDepth: queueDepth, Timeout: timeout})
+}
+
+// NewRunnerConfig starts a runner with the full configuration, including
+// the finished-job retention policy.
+func NewRunnerConfig(cfg RunnerConfig) *Runner {
+	cfg = cfg.withDefaults()
 	r := &Runner{
 		jobs:    make(map[string]*Job),
 		run:     make(map[string]JobFunc),
-		queue:   make(chan *Job, queueDepth),
-		timeout: timeout,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		timeout: cfg.Timeout,
+		retain:  cfg.Retention,
+		maxKeep: cfg.MaxRetained,
+		stop:    make(chan struct{}),
 	}
-	r.wg.Add(workers)
-	for i := 0; i < workers; i++ {
+	r.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
 		go r.worker()
 	}
+	if r.retain > 0 {
+		go r.janitor()
+	}
 	return r
+}
+
+// janitor periodically evicts expired terminal jobs so retention holds even
+// when the runner goes idle (no Submit/Get/Len to trigger lazy eviction).
+func (r *Runner) janitor() {
+	interval := r.retain / 4
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case now := <-t.C:
+			r.mu.Lock()
+			r.evictLocked(now)
+			r.mu.Unlock()
+		}
+	}
+}
+
+// retireLocked records a job's arrival in a terminal state: stamps the
+// finish time, queues it for eviction in retirement order, and applies the
+// cap immediately. Callers hold r.mu and have already set the terminal
+// status.
+func (r *Runner) retireLocked(j *Job) {
+	if j.finished.IsZero() {
+		j.finished = time.Now()
+	}
+	r.terminal = append(r.terminal, j)
+	r.evictLocked(j.finished)
+}
+
+// evictLocked drops terminal jobs that are over the cap or past the
+// retention deadline, oldest first. Retirement order is append order under
+// r.mu, so the front of the slice is always the eviction candidate.
+func (r *Runner) evictLocked(now time.Time) {
+	for len(r.terminal) > 0 {
+		j := r.terminal[0]
+		over := r.maxKeep > 0 && len(r.terminal) > r.maxKeep
+		expired := r.retain > 0 && now.Sub(j.finished) >= r.retain
+		if !over && !expired {
+			return
+		}
+		r.terminal[0] = nil
+		r.terminal = r.terminal[1:]
+		delete(r.jobs, j.id)
+		r.evicted++
+	}
 }
 
 // Submit enqueues fn as a new job and returns its id. It fails fast with
@@ -119,6 +228,7 @@ func (r *Runner) Submit(fn JobFunc) (string, error) {
 		r.mu.Unlock()
 		return "", ErrRunnerClosed
 	}
+	r.evictLocked(time.Now())
 	id := fmt.Sprintf("j%d", r.nextID.Add(1))
 	j := &Job{id: id, status: JobQueued, done: make(chan struct{}), created: time.Now()}
 	select {
@@ -178,12 +288,16 @@ func (r *Runner) execute(j *Job) {
 		j.status, j.err = JobFailed, err
 	}
 	close(j.done)
+	r.retireLocked(j)
 }
 
-// Get returns a snapshot of the job with the given id.
+// Get returns a snapshot of the job with the given id. An id whose job has
+// been evicted by the retention policy reports false, exactly like an id
+// that never existed.
 func (r *Runner) Get(id string) (JobView, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.evictLocked(time.Now())
 	j, ok := r.jobs[id]
 	if !ok {
 		return JobView{}, false
@@ -220,6 +334,7 @@ func (r *Runner) Cancel(id string) bool {
 		j.status = JobCancelled
 		j.err = context.Canceled
 		close(j.done)
+		r.retireLocked(j)
 	case JobRunning:
 		j.cancel()
 	}
@@ -229,11 +344,34 @@ func (r *Runner) Cancel(id string) bool {
 // InFlight returns the number of jobs currently executing.
 func (r *Runner) InFlight() int64 { return r.inFlight.Load() }
 
-// Len returns the number of jobs the runner remembers (all states).
+// Len returns the number of jobs the runner remembers (all states), after
+// applying the retention policy.
 func (r *Runner) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.evictLocked(time.Now())
 	return len(r.jobs)
+}
+
+// Counts returns the number of remembered jobs per lifecycle state, after
+// applying the retention policy.
+func (r *Runner) Counts() map[JobStatus]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evictLocked(time.Now())
+	out := make(map[JobStatus]int, 5)
+	for _, j := range r.jobs {
+		out[j.status]++
+	}
+	return out
+}
+
+// Evicted returns the cumulative number of jobs removed by the retention
+// policy (age or cap).
+func (r *Runner) Evicted() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
 }
 
 // Shutdown stops accepting jobs and drains the pool. In-flight and queued
@@ -248,6 +386,7 @@ func (r *Runner) Shutdown(ctx context.Context) error {
 	}
 	r.closed = true
 	close(r.queue)
+	close(r.stop)
 	r.mu.Unlock()
 
 	done := make(chan struct{})
@@ -269,6 +408,7 @@ func (r *Runner) Shutdown(ctx context.Context) error {
 			j.status = JobCancelled
 			j.err = context.Canceled
 			close(j.done)
+			r.retireLocked(j)
 		case JobRunning:
 			j.cancel()
 		}

@@ -196,3 +196,101 @@ func TestRunnerConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// submitAndWait runs a trivial job to completion and returns its id.
+func submitAndWait(t *testing.T, r *Runner, v int) string {
+	t.Helper()
+	id, err := r.Submit(func(context.Context) (any, error) { return v, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, r, id)
+	return id
+}
+
+// TestRunnerRetentionTTL is the regression test for the job-retention bug:
+// finished jobs used to stay in the runner's map forever. With a TTL, a
+// finished job is queryable within the window and evicted after it.
+func TestRunnerRetentionTTL(t *testing.T) {
+	r := NewRunnerConfig(RunnerConfig{Workers: 1, Retention: 40 * time.Millisecond})
+	defer r.Shutdown(context.Background())
+	id := submitAndWait(t, r, 1)
+	if _, ok := r.Get(id); !ok {
+		t.Fatal("finished job gone before its TTL")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := r.Get(id); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("finished job still queryable long after its TTL")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := r.Len(); n != 0 {
+		t.Errorf("Len() = %d after eviction", n)
+	}
+	if n := r.Evicted(); n != 1 {
+		t.Errorf("Evicted() = %d, want 1", n)
+	}
+}
+
+// TestRunnerRetentionCap: with age-based eviction disabled, the cap bounds
+// the retained set and evicts oldest-first.
+func TestRunnerRetentionCap(t *testing.T) {
+	r := NewRunnerConfig(RunnerConfig{Workers: 1, Retention: -1, MaxRetained: 3})
+	defer r.Shutdown(context.Background())
+	ids := make([]string, 5)
+	for i := range ids {
+		ids[i] = submitAndWait(t, r, i)
+	}
+	if n := r.Len(); n != 3 {
+		t.Fatalf("Len() = %d, want 3", n)
+	}
+	for _, id := range ids[:2] {
+		if _, ok := r.Get(id); ok {
+			t.Errorf("oldest job %s not evicted", id)
+		}
+	}
+	for i, id := range ids[2:] {
+		v, ok := r.Get(id)
+		if !ok || v.Result.(int) != i+2 {
+			t.Errorf("recent job %s = %+v, want result %d", id, v, i+2)
+		}
+	}
+	if n := r.Evicted(); n != 2 {
+		t.Errorf("Evicted() = %d, want 2", n)
+	}
+}
+
+// TestRunnerJanitorEvicts: expired jobs are evicted by the background
+// janitor even when nothing calls Get/Len/Submit to trigger the lazy path.
+// Evicted() takes the lock but does not itself evict.
+func TestRunnerJanitorEvicts(t *testing.T) {
+	r := NewRunnerConfig(RunnerConfig{Workers: 1, Retention: 30 * time.Millisecond})
+	defer r.Shutdown(context.Background())
+	submitAndWait(t, r, 1)
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Evicted() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("janitor never evicted the expired job")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunnerCountsByState: Counts tracks the lifecycle states of the
+// remembered jobs.
+func TestRunnerCountsByState(t *testing.T) {
+	r := NewRunnerConfig(RunnerConfig{Workers: 1, Retention: -1})
+	defer r.Shutdown(context.Background())
+	submitAndWait(t, r, 1)
+	boom := errors.New("boom")
+	id, _ := r.Submit(func(context.Context) (any, error) { return nil, boom })
+	waitStatus(t, r, id)
+	c := r.Counts()
+	if c[JobDone] != 1 || c[JobFailed] != 1 {
+		t.Errorf("Counts() = %v, want one done and one failed", c)
+	}
+}

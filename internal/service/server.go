@@ -2,13 +2,17 @@ package service
 
 import (
 	"context"
+	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // Config tunes a Server. The zero value selects sensible defaults
@@ -43,6 +47,18 @@ type Config struct {
 	// endpoints expose internals and can themselves burn CPU, so they are
 	// opt-in (parmmd -pprof).
 	EnablePprof bool
+	// JobRetention is how long finished jobs stay queryable through
+	// /v1/jobs/{id} before eviction; 0 selects ten minutes, negative
+	// retains forever.
+	JobRetention time.Duration
+	// MaxJobsRetained caps the number of finished jobs kept regardless of
+	// age (oldest evicted first); 0 selects 4096, negative removes the cap.
+	MaxJobsRetained int
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (id, method, path, matched endpoint, status, bytes,
+	// duration). Each response also carries the id in X-Request-ID,
+	// honoring an inbound header of that name for end-to-end correlation.
+	AccessLog io.Writer
 }
 
 // withDefaults fills the zero fields.
@@ -82,12 +98,21 @@ func (c Config) withDefaults() Config {
 // cache and the async job pool behind it. Create with New, mount Handler,
 // and Shutdown to drain.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	cache *Cache
-	jobs  *Runner
+	cfg    Config
+	mux    *http.ServeMux
+	cache  *Cache
+	jobs   *Runner
+	logger *slog.Logger
+
+	// reg holds this server's metric families (cache, jobs, HTTP). It is
+	// per-instance, not process-global, so tests can run many Servers
+	// without families colliding; /metrics concatenates it with the
+	// process-wide obs.Default carrying the simulator counters.
+	reg     *obs.Registry
+	latency map[string]*obs.Histogram // request-duration histograms by route pattern
 
 	requests  atomic.Int64
+	reqID     atomic.Int64
 	jobsTotal atomic.Int64
 	// wordsSimulated accumulates float64 words as IEEE-754 bits under CAS,
 	// so /debug/vars needs no lock.
@@ -100,10 +125,21 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		cache: NewCache(cfg.CacheSize),
-		jobs:  NewRunner(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout),
+		jobs: NewRunnerConfig(RunnerConfig{
+			Workers:     cfg.Workers,
+			QueueDepth:  cfg.QueueDepth,
+			Timeout:     cfg.JobTimeout,
+			Retention:   cfg.JobRetention,
+			MaxRetained: cfg.MaxJobsRetained,
+		}),
+		reg: obs.NewRegistry(),
+	}
+	if cfg.AccessLog != nil {
+		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	s.mux.HandleFunc("POST /v1/lowerbound", s.handleLowerBound)
 	s.mux.HandleFunc("POST /v1/grid", s.handleGrid)
@@ -118,16 +154,126 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
+	s.registerMetrics()
 	return s
 }
 
-// Handler returns the root handler (counting requests); mount it on an
-// http.Server or httptest.Server.
+// registerMetrics builds the server's metric families. Cheap live values
+// (cache stats, job states) are exported as func metrics read at scrape
+// time; only the request-latency histograms are updated on the request
+// path.
+func (s *Server) registerMetrics() {
+	s.reg.CounterFunc("service_requests_total",
+		"HTTP requests served (all endpoints).",
+		func() float64 { return float64(s.requests.Load()) })
+	s.reg.CounterFunc("service_cache_hits_total",
+		"Memo-cache lookups answered from cache.",
+		func() float64 { h, _ := s.cache.Stats(); return float64(h) })
+	s.reg.CounterFunc("service_cache_misses_total",
+		"Memo-cache lookups that had to compute.",
+		func() float64 { _, m := s.cache.Stats(); return float64(m) })
+	s.reg.GaugeFunc("service_cache_entries",
+		"Current memo-cache entries.",
+		func() float64 { return float64(s.cache.Len()) })
+	s.reg.CounterFunc("service_jobs_submitted_total",
+		"Jobs ever accepted by /v1/simulate.",
+		func() float64 { return float64(s.jobsTotal.Load()) })
+	s.reg.GaugeFunc("service_jobs_inflight",
+		"Jobs currently executing.",
+		func() float64 { return float64(s.jobs.InFlight()) })
+	for _, st := range []JobStatus{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled} {
+		st := st
+		s.reg.GaugeFunc("service_jobs",
+			"Remembered jobs by lifecycle state, after retention eviction.",
+			func() float64 { return float64(s.jobs.Counts()[st]) },
+			"state", string(st))
+	}
+	s.reg.CounterFunc("service_jobs_evicted_total",
+		"Finished jobs evicted by the retention policy (age or cap).",
+		func() float64 { return float64(s.jobs.Evicted()) })
+	s.reg.CounterFunc("service_words_simulated_total",
+		"Network-wide words moved by completed simulations.",
+		s.WordsSimulated)
+
+	s.latency = make(map[string]*obs.Histogram)
+	for _, pattern := range []string{
+		"GET /healthz", "GET /metrics", "GET /debug/vars",
+		"POST /v1/lowerbound", "POST /v1/grid", "POST /v1/predict",
+		"POST /v1/simulate", "GET /v1/jobs/{id}", "DELETE /v1/jobs/{id}",
+		"other",
+	} {
+		s.latency[pattern] = s.reg.Histogram("service_request_seconds",
+			"HTTP request latency by route pattern.", nil,
+			"endpoint", pattern)
+	}
+}
+
+// statusRecorder captures the status code and body size written by a
+// handler for access logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Handler returns the root handler; mount it on an http.Server or
+// httptest.Server. It counts requests, assigns each a request id (echoed in
+// X-Request-ID, honoring an inbound one), observes per-endpoint latency,
+// and — when Config.AccessLog is set — emits one structured log line per
+// request.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		s.mux.ServeHTTP(w, r)
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = "req-" + strconv.FormatInt(s.reqID.Add(1), 10)
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rec.Header().Set("X-Request-ID", id)
+		s.mux.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		pattern := "other"
+		if _, p := s.mux.Handler(r); p != "" {
+			pattern = p
+		}
+		if h, ok := s.latency[pattern]; ok {
+			h.Observe(elapsed.Seconds())
+		} else {
+			s.latency["other"].Observe(elapsed.Seconds())
+		}
+		if s.logger != nil {
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("endpoint", pattern),
+				slog.Int("status", rec.status),
+				slog.Int64("bytes", rec.bytes),
+				slog.Duration("duration", elapsed),
+			)
+		}
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition: this server's
+// families followed by the process-wide simulator families (disjoint name
+// spaces, so the concatenation is a valid exposition).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+	obs.Default.WritePrometheus(w)
 }
 
 // Shutdown drains the job pool: in-flight and queued jobs get until ctx is
