@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single artifact (table1|lemma2|bounds|fig1|fig2|tight|algs|scaling|memory|geometry|carma|extension|fastmm|models|caps|memtradeoff)")
+	only := flag.String("only", "", "run a single artifact (table1|lemma2|bounds|fig1|fig2|tight|algs|scaling|memory|geometry|carma|extension|fastmm|models|caps|memtradeoff|topology)")
 	csvDir := flag.String("csv", "", "directory to write <id>.csv files into")
 	jsonOut := flag.Bool("json", false, "emit the artifacts as a JSON array instead of text")
 	list := flag.Bool("list", false, "list the available artifact names and exit")
@@ -38,7 +38,7 @@ func main() {
 		for _, name := range []string{
 			"table1", "lemma2", "bounds", "fig1", "fig2", "tight", "algs",
 			"scaling", "memory", "geometry", "carma", "extension", "fastmm",
-			"models", "caps", "memtradeoff",
+			"models", "caps", "memtradeoff", "topology",
 		} {
 			fmt.Println(name)
 		}
@@ -135,6 +135,9 @@ func selectArtifacts(only string) ([]experiments.Artifact, error) {
 		return []experiments.Artifact{experiments.ModelRobustness()}, nil
 	case "fastmm":
 		a, err := experiments.FastMatmul(4096, []int{1, 8, 64, 512, 4096})
+		return []experiments.Artifact{a}, err
+	case "topology":
+		a, err := experiments.TopologySweep()
 		return []experiments.Artifact{a}, err
 	default:
 		return nil, fmt.Errorf("paper: unknown artifact %q", only)

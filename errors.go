@@ -11,8 +11,8 @@ import "repro/internal/core"
 //	}
 //
 // The parmmd HTTP service maps the same sentinels onto status codes
-// (ErrBadDims, ErrBadProcessorCount, ErrBadOpts → 400; ErrGridMismatch,
-// ErrUnsupportedAlg → 422).
+// (ErrBadDims, ErrBadProcessorCount, ErrBadOpts, ErrBadTopology → 400;
+// ErrGridMismatch, ErrUnsupportedAlg → 422).
 var (
 	// ErrBadDims marks invalid matrix dimensions: non-positive sizes or
 	// operand shapes that do not conform.
@@ -37,4 +37,9 @@ var (
 	// negative worker or layer counts, an unknown collective family, chunk
 	// counts below one.
 	ErrBadOpts = core.ErrBadOpts
+
+	// ErrBadTopology marks an invalid interconnect topology: an unknown or
+	// malformed spec string, a fabric whose endpoint count does not match
+	// the run's processor count, or an unknown placement policy.
+	ErrBadTopology = core.ErrBadTopology
 )

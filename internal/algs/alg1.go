@@ -55,7 +55,10 @@ func run3D(name string, a, b *matrix.Dense, p int, opts Opts, reduceScatter bool
 		return nil, fmt.Errorf("algs: grid %v exceeds dims %v: %w", g, d, core.ErrGridMismatch)
 	}
 
-	w, tr := newWorld(p, opts)
+	w, tr, err := newWorld(p, opts)
+	if err != nil {
+		return nil, err
+	}
 	var tm *machine.TrafficMatrix
 	if opts.Traffic {
 		tm = w.EnableTraffic()

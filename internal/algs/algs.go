@@ -31,6 +31,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/machine"
 	"repro/internal/matrix"
+	"repro/internal/topo"
 )
 
 // Opts configures a simulated run.
@@ -56,6 +57,14 @@ type Opts struct {
 	// Traffic enables per-pair traffic accounting; the matrix is returned
 	// in Result.Traffic.
 	Traffic bool
+	// Topo, when non-nil, prices every message through an interconnect
+	// topology (see internal/topo) instead of the uniform α/β of Config;
+	// its endpoint count must equal the run's processor count. The Flat
+	// topology reproduces the uniform model bit-for-bit.
+	Topo topo.Topology
+	// Place selects how ranks are embedded onto Topo's endpoints; the zero
+	// value is contiguous. Ignored when Topo is nil.
+	Place topo.Policy
 }
 
 // Validate reports whether the options are self-consistent, before any
@@ -76,6 +85,11 @@ func (o Opts) Validate() error {
 	default:
 		return fmt.Errorf("algs: unknown collective family %d: %w", o.Collective, core.ErrBadOpts)
 	}
+	switch o.Place {
+	case topo.Contiguous, topo.RoundRobin:
+	default:
+		return fmt.Errorf("algs: unknown placement policy %d: %w", int(o.Place), core.ErrBadTopology)
+	}
 	if o.Grid != (grid.Grid{}) {
 		return o.Grid.Validate()
 	}
@@ -83,14 +97,31 @@ func (o Opts) Validate() error {
 }
 
 // newWorld builds the simulated machine for a run, honoring the tracing
-// option.
-func newWorld(p int, opts Opts) (*machine.World, *machine.Trace) {
+// and topology options. With a topology set, ranks are placed onto its
+// endpoints and every send is priced through the resulting Network; a
+// topology whose endpoint count differs from p wraps core.ErrBadTopology.
+func newWorld(p int, opts Opts) (*machine.World, *machine.Trace, error) {
 	w := machine.NewWorld(p, opts.Config)
+	if opts.Topo != nil {
+		if opts.Topo.P() != p {
+			return nil, nil, fmt.Errorf("algs: topology %s has %d endpoints, run uses %d processors: %w",
+				opts.Topo.Name(), opts.Topo.P(), p, core.ErrBadTopology)
+		}
+		pl, err := topo.PlaceRanks(p, opts.Topo, opts.Place)
+		if err != nil {
+			return nil, nil, err
+		}
+		net, err := topo.NewNetwork(opts.Topo, pl)
+		if err != nil {
+			return nil, nil, err
+		}
+		w.SetNetwork(net)
+	}
 	var tr *machine.Trace
 	if opts.Trace {
 		tr = w.EnableTracing()
 	}
-	return w, tr
+	return w, tr, nil
 }
 
 // Result is the outcome of a simulated parallel multiplication.

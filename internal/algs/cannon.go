@@ -29,7 +29,10 @@ func Cannon(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 	}
 
 	g := grid.Grid{P1: q, P2: 1, P3: q}
-	w, tr := newWorld(p, opts)
+	w, tr, err := newWorld(p, opts)
+	if err != nil {
+		return nil, err
+	}
 	blocks := make([][]float64, p)
 	const (
 		tagSkewA  = 100

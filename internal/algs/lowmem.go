@@ -44,7 +44,10 @@ func Alg1LowMem(a, b *matrix.Dense, p, chunks int, opts Opts) (*Result, error) {
 		return nil, fmt.Errorf("algs: grid %v exceeds dims %v: %w", g, d, core.ErrGridMismatch)
 	}
 
-	w, tr := newWorld(p, opts)
+	w, tr, err := newWorld(p, opts)
+	if err != nil {
+		return nil, err
+	}
 	resultChunks := make([][]float64, p)
 	runErr := w.Run(func(r *machine.Rank) {
 		i1, i2, i3 := g.Coords(r.ID())

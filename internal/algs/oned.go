@@ -25,7 +25,10 @@ func OneD(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 		return nil, fmt.Errorf("algs: OneD needs P ≤ n1, got P=%d n1=%d: %w", p, d.N1, core.ErrBadProcessorCount)
 	}
 
-	w, tr := newWorld(p, opts)
+	w, tr, err := newWorld(p, opts)
+	if err != nil {
+		return nil, err
+	}
 	bands := make([][]float64, p)
 	members := make([]int, p)
 	for i := range members {

@@ -40,6 +40,17 @@ func Registry() []Entry {
 	}
 }
 
+// Names returns every registered algorithm name in report order, for CLI
+// usage strings and unknown-name error messages.
+func Names() []string {
+	entries := Registry()
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
+	return names
+}
+
 // Lookup resolves a registered algorithm by name (case-insensitive). An
 // unknown name wraps core.ErrUnsupportedAlg.
 func Lookup(name string) (Entry, error) {

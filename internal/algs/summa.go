@@ -48,7 +48,10 @@ func SUMMA(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 	panelW := d.N2 / steps
 
 	g := grid.Grid{P1: pr, P2: 1, P3: pc}
-	w, tr := newWorld(p, opts)
+	w, tr, err := newWorld(p, opts)
+	if err != nil {
+		return nil, err
+	}
 	blocks := make([][]float64, p)
 	runErr := w.Run(func(r *machine.Rank) {
 		i1, _, i3 := g.Coords(r.ID())

@@ -1,0 +1,113 @@
+package algs
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/topo"
+)
+
+// TestFlatTopologyBitIdentical pins the acceptance contract of the topology
+// subsystem: selecting the Flat topology — the paper's dedicated-link
+// network — must reproduce the plain uniform-model run exactly, for every
+// registered algorithm, down to the last bit of every per-rank statistic.
+// The charge arithmetic is literally the same floats (a + b·w with
+// a = cfg.Alpha, b = cfg.Beta), so reflect.DeepEqual, not tolerances.
+func TestFlatTopologyBitIdentical(t *testing.T) {
+	const n, p = 48, 16
+	a := matrix.Random(n, n, 17)
+	b := matrix.Random(n, n, 18)
+	cfg := machine.Config{Alpha: 2, Beta: 0.5, Gamma: 0.125}
+	flat := topo.NewFlat(p, topo.Link{Alpha: cfg.Alpha, Beta: cfg.Beta})
+	for _, e := range Registry() {
+		base, err := e.Run(a, b, p, Opts{Config: cfg})
+		if err != nil {
+			t.Fatalf("%s plain: %v", e.Name, err)
+		}
+		for _, place := range []topo.Policy{topo.Contiguous, topo.RoundRobin} {
+			got, err := e.Run(a, b, p, Opts{Config: cfg, Topo: flat, Place: place})
+			if err != nil {
+				t.Fatalf("%s flat/%v: %v", e.Name, place, err)
+			}
+			if !reflect.DeepEqual(base.Stats, got.Stats) {
+				t.Errorf("%s: flat topology (%v placement) changed WorldStats:\nplain: %+v\nflat:  %+v",
+					e.Name, place, base.Stats, got.Stats)
+			}
+			if !base.C.Equal(got.C, 0) {
+				t.Errorf("%s: flat topology changed the numerical result", e.Name)
+			}
+		}
+	}
+}
+
+// TestTopologyChangesCosts checks a congested topology moves the simulated
+// critical path while leaving the communication pattern — and therefore the
+// word and message counts — untouched.
+func TestTopologyChangesCosts(t *testing.T) {
+	const n, p = 48, 16
+	a := matrix.Random(n, n, 17)
+	b := matrix.Random(n, n, 18)
+	cfg := machine.Config{Alpha: 2, Beta: 0.5, Gamma: 0.125}
+	base, err := Alg1(a, b, p, Opts{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := topo.Parse("tree=2x4", p, topo.Link{Alpha: cfg.Alpha, Beta: cfg.Beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Alg1(a, b, p, Opts{Config: cfg, Topo: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.CriticalPath <= base.Stats.CriticalPath {
+		t.Errorf("skinny tree critical path %v not above flat %v", got.Stats.CriticalPath, base.Stats.CriticalPath)
+	}
+	if got.Stats.TotalWordsSent != base.Stats.TotalWordsSent || got.Stats.TotalMessages != base.Stats.TotalMessages {
+		t.Errorf("topology changed the communication pattern: %v words/%d msgs vs %v/%d",
+			got.Stats.TotalWordsSent, got.Stats.TotalMessages, base.Stats.TotalWordsSent, base.Stats.TotalMessages)
+	}
+	if !base.C.Equal(got.C, 0) {
+		t.Error("topology changed the numerical result")
+	}
+}
+
+// TestTopologySizeMismatch checks a topology of the wrong size is rejected
+// with core.ErrBadTopology before any simulation starts.
+func TestTopologySizeMismatch(t *testing.T) {
+	a := matrix.Random(16, 16, 3)
+	b := matrix.Random(16, 16, 4)
+	wrong := topo.NewFlat(8, topo.Link{Beta: 1})
+	if _, err := Alg1(a, b, 16, Opts{Config: machine.BandwidthOnly(), Topo: wrong}); !errors.Is(err, core.ErrBadTopology) {
+		t.Errorf("mismatched topology = %v, want ErrBadTopology", err)
+	}
+}
+
+// TestValidateRejectsBadPlacement checks Opts.Validate catches an
+// out-of-range placement policy.
+func TestValidateRejectsBadPlacement(t *testing.T) {
+	if err := (Opts{Place: topo.Policy(99)}).Validate(); !errors.Is(err, core.ErrBadTopology) {
+		t.Errorf("bad placement = %v, want ErrBadTopology", err)
+	}
+	if err := (Opts{}).Validate(); err != nil {
+		t.Errorf("zero Opts = %v, want nil", err)
+	}
+}
+
+// TestNames checks the registry name list matches the entries.
+func TestNames(t *testing.T) {
+	names := Names()
+	entries := Registry()
+	if len(names) != len(entries) {
+		t.Fatalf("%d names for %d entries", len(names), len(entries))
+	}
+	for i, e := range entries {
+		if names[i] != e.Name {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], e.Name)
+		}
+	}
+}

@@ -49,7 +49,10 @@ func TwoPointFiveD(a, b *matrix.Dense, p int, opts Opts) (*Result, error) {
 	}
 
 	g := grid.Grid{P1: q, P2: c, P3: q} // Axis2 indexes the replication layer
-	w, tr := newWorld(p, opts)
+	w, tr, err := newWorld(p, opts)
+	if err != nil {
+		return nil, err
+	}
 	chunks := make([][]float64, p)
 	const (
 		tagAlignA = 200

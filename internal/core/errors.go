@@ -32,4 +32,10 @@ var (
 	// ErrBadOpts marks invalid run options: negative worker or layer
 	// counts, an unknown collective family, chunk counts below one.
 	ErrBadOpts = errors.New("invalid options")
+
+	// ErrBadTopology marks an invalid interconnect topology: an unknown or
+	// malformed spec, a shape whose endpoint count does not match the
+	// machine's rank count, an unknown placement policy, or a non-flat
+	// topology too large for per-pair charge tables.
+	ErrBadTopology = errors.New("invalid topology")
 )

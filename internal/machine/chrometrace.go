@@ -39,10 +39,18 @@ type chromeTrace struct {
 //     inside its phase slice, with words, peer, and tag in args.
 //
 // p is the world size (rank count), used to emit thread names.
+//
+// The export degrades gracefully at the edges: a nil or empty trace (and a
+// single-rank world, which never communicates) still writes a valid JSON
+// document whose traceEvents is a JSON array — metadata records only, or
+// literally [] when there is nothing at all to name.
 func (t *Trace) WriteChromeTrace(w io.Writer, p int) error {
-	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
-		{Name: "process_name", Ph: "M", Args: map[string]any{"name": "mmsim"}},
-	}}
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	if p > 0 {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Args: map[string]any{"name": "mmsim"},
+		})
+	}
 	for r := 0; r < p; r++ {
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: "thread_name", Ph: "M", Tid: r,

@@ -66,6 +66,17 @@ type Config struct {
 // convenient when comparing against bandwidth lower bounds.
 func BandwidthOnly() Config { return Config{Alpha: 0, Beta: 1, Gamma: 0} }
 
+// Network prices messages per (source, destination) pair, replacing the
+// uniform α/β of Config for worlds simulating a non-flat interconnect (see
+// internal/topo). Charge must be deterministic, allocation-free, and safe
+// for concurrent calls: every rank goroutine consults it on every send, and
+// the simulator's results must not depend on goroutine scheduling. The cost
+// of one message of w words from src to dst is alpha + beta·w, charged to
+// the sender exactly like the uniform model.
+type Network interface {
+	Charge(src, dst int) (alpha, beta float64)
+}
+
 // message is one in-flight point-to-point message. Structs are pooled in
 // the global arena and queues link them intrusively through next, so the
 // steady-state send path allocates nothing.
@@ -238,6 +249,11 @@ type World struct {
 	trace   *Trace
 	traffic *TrafficMatrix
 
+	// net, when non-nil, prices each send per (src, dst) pair instead of
+	// the uniform cfg.Alpha/cfg.Beta. Nil worlds keep the original scalar
+	// arithmetic — the topology-disabled hot path is untouched.
+	net Network
+
 	ranks []Rank
 }
 
@@ -266,6 +282,10 @@ func NewWorld(p int, cfg Config) *World {
 	}
 	return w
 }
+
+// SetNetwork installs a per-pair message-pricing oracle; call before Run.
+// A nil network restores the uniform Config pricing.
+func (w *World) SetNetwork(n Network) { w.net = n }
 
 // P returns the number of ranks.
 func (w *World) P() int { return w.p }

@@ -72,7 +72,12 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 	cp := globalArena.get(len(data))
 	copy(cp, data)
 	start := r.clock
-	r.clock += r.world.cfg.Alpha + r.world.cfg.Beta*w
+	if n := r.world.net; n != nil {
+		a, b := n.Charge(r.id, dst)
+		r.clock += a + b*w
+	} else {
+		r.clock += r.world.cfg.Alpha + r.world.cfg.Beta*w
+	}
 	if t := r.world.trace; t != nil {
 		t.add(Event{Rank: r.id, Kind: EventSend, Peer: dst, Tag: tag, Words: w, Start: start, End: r.clock, Phase: r.phase})
 	}

@@ -68,8 +68,12 @@ func (t *Trace) addPhase(s PhaseSpan) {
 	t.mu.Unlock()
 }
 
-// Phases returns the recorded phase spans sorted by (rank, start time).
+// Phases returns the recorded phase spans sorted by (rank, start time). A
+// nil trace has none.
 func (t *Trace) Phases() []PhaseSpan {
+	if t == nil {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]PhaseSpan, len(t.phases))
@@ -83,8 +87,12 @@ func (t *Trace) Phases() []PhaseSpan {
 	return out
 }
 
-// Events returns the recorded events sorted by (rank, start time).
+// Events returns the recorded events sorted by (rank, start time). A nil
+// trace has none.
 func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]Event, len(t.events))

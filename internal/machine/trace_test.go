@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -130,5 +132,82 @@ func TestTrafficHeatmapAllZero(t *testing.T) {
 	}
 	if hm := tm.Heatmap(); !strings.Contains(hm, "max cell 0") {
 		t.Fatalf("zero heatmap: %s", hm)
+	}
+}
+
+// TestChromeTraceEmpty pins the degenerate exports: a nil trace, an
+// enabled-but-empty trace, and a zero-rank request must all emit valid JSON
+// whose traceEvents is an array, never null — downstream viewers reject the
+// latter.
+func TestChromeTraceEmpty(t *testing.T) {
+	cases := []struct {
+		name  string
+		trace *Trace
+		p     int
+	}{
+		{"nil trace, no ranks", nil, 0},
+		{"nil trace, ranks named", nil, 2},
+		{"empty trace", &Trace{}, 0},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := tc.trace.WriteChromeTrace(&buf, tc.p); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var doc struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("%s: invalid JSON: %v\n%s", tc.name, err, buf.String())
+		}
+		if !strings.Contains(buf.String(), `"traceEvents":[`) {
+			t.Errorf("%s: traceEvents is not an array:\n%s", tc.name, buf.String())
+		}
+		if tc.p == 0 && len(doc.TraceEvents) != 0 {
+			t.Errorf("%s: want zero events, got %d", tc.name, len(doc.TraceEvents))
+		}
+	}
+}
+
+// TestChromeTraceSingleRank checks a 1-rank world — which can never send or
+// receive — still exports a valid document with its thread metadata and any
+// compute slices.
+func TestChromeTraceSingleRank(t *testing.T) {
+	w := NewWorld(1, Config{Gamma: 1})
+	tr := w.EnableTracing()
+	if err := w.Run(func(r *Rank) { r.Compute(4) }); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, w.P()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var compute, thread bool
+	for _, e := range doc.TraceEvents {
+		compute = compute || e.Name == "compute"
+		thread = thread || e.Name == "thread_name"
+	}
+	if !compute || !thread {
+		t.Errorf("single-rank export missing compute slice (%v) or thread metadata (%v):\n%s", compute, thread, buf.String())
+	}
+}
+
+// TestTraceNilAccessors checks the nil-trace accessors used by the export.
+func TestTraceNilAccessors(t *testing.T) {
+	var tr *Trace
+	if got := tr.Events(); got != nil {
+		t.Errorf("nil Events = %v", got)
+	}
+	if got := tr.Phases(); got != nil {
+		t.Errorf("nil Phases = %v", got)
 	}
 }

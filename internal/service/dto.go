@@ -111,6 +111,20 @@ type GridResponse struct {
 	UnderMemoryFits bool `json:"underMemoryFits,omitempty"`
 }
 
+// TopologyJSON selects an interconnect topology for predictions and
+// simulations. The spec strings and placement names are those of
+// internal/topo: flat, twolevel=<g>, torus=<d1>x<d2>[x...],
+// fattree=<radix>x<levels>, tree=<radix>x<levels>; placements contiguous
+// (default) and roundrobin. Invalid values answer 400 with kind
+// "bad_topology".
+type TopologyJSON struct {
+	// Spec names the fabric (e.g. "torus=4x4x4"); its endpoint count must
+	// equal the problem's P.
+	Spec string `json:"spec"`
+	// Place selects the rank embedding; empty means contiguous.
+	Place string `json:"place,omitempty"`
+}
+
 // PredictRequest is the body of POST /v1/predict: a problem plus the α-β-γ
 // machine model; Grid optionally pins the processor grid (it must multiply
 // to P), otherwise the eq. (3)-optimal grid is used.
@@ -124,6 +138,11 @@ type PredictRequest struct {
 	Beta float64 `json:"beta"`
 	// Gamma is the per-flop computation cost.
 	Gamma float64 `json:"gamma"`
+	// Topology, when present, prices the prediction on a concrete fabric
+	// (worst contended route per collective phase) instead of the paper's
+	// fully connected network; the response then carries the topology
+	// fields.
+	Topology *TopologyJSON `json:"topology,omitempty"`
 }
 
 // PredictResponse decomposes Algorithm 1's predicted execution time on the
@@ -146,6 +165,15 @@ type PredictResponse struct {
 	Words float64 `json:"words"`
 	// Messages is the per-processor message count.
 	Messages float64 `json:"messages"`
+	// Topology and Placement echo the fabric the prediction was priced on,
+	// present only when the request selected one.
+	Topology  string `json:"topology,omitempty"`
+	Placement string `json:"placement,omitempty"`
+	// FlatTotal is the uniform-model total under the same config, and
+	// Slowdown is Total/FlatTotal — the congestion degradation factor.
+	// Present only with a topology.
+	FlatTotal float64 `json:"flatTotal,omitempty"`
+	Slowdown  float64 `json:"slowdown,omitempty"`
 }
 
 // SimulateRequest is the body of POST /v1/simulate: run one algorithm (or
@@ -173,6 +201,10 @@ type SimulateRequest struct {
 	// Verify also computes the serial product and reports the maximum
 	// absolute deviation (doubles the arithmetic; off by default).
 	Verify bool `json:"verify,omitempty"`
+	// Topology, when present, runs the simulation on a concrete fabric:
+	// every message is priced through its routes and contention factors.
+	// The spec must fit every problem's P (batch entries included).
+	Topology *TopologyJSON `json:"topology,omitempty"`
 }
 
 // SimulateResult is the outcome of one simulated run.
@@ -197,6 +229,10 @@ type SimulateResult struct {
 	// MaxAbsDiff is the maximum deviation from the serial product, present
 	// only when Verify was requested.
 	MaxAbsDiff *float64 `json:"maxAbsDiff,omitempty"`
+	// Topology and Placement echo the fabric the run was priced on, present
+	// only when the request selected one.
+	Topology  string `json:"topology,omitempty"`
+	Placement string `json:"placement,omitempty"`
 }
 
 // JobResponse reports an async job's state; it is the body of the
@@ -221,7 +257,7 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 	// Kind is the machine-readable taxonomy tag: bad_dims,
 	// bad_processor_count, grid_mismatch, unsupported_alg, bad_opts,
-	// bad_request, not_found, queue_full, or internal.
+	// bad_topology, bad_request, not_found, queue_full, or internal.
 	Kind string `json:"kind"`
 }
 

@@ -11,7 +11,8 @@ import (
 // statusFor maps the core error taxonomy onto HTTP status codes,
 // deterministically:
 //
-//	ErrBadDims, ErrBadProcessorCount, ErrBadOpts → 400 Bad Request
+//	ErrBadDims, ErrBadProcessorCount, ErrBadOpts,
+//	ErrBadTopology                               → 400 Bad Request
 //	ErrUnsupportedAlg                            → 404 Not Found
 //	ErrGridMismatch                              → 422 Unprocessable Entity
 //	ErrJobQueueFull                              → 503 Service Unavailable
@@ -23,7 +24,8 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, core.ErrBadDims),
 		errors.Is(err, core.ErrBadProcessorCount),
-		errors.Is(err, core.ErrBadOpts):
+		errors.Is(err, core.ErrBadOpts),
+		errors.Is(err, core.ErrBadTopology):
 		return http.StatusBadRequest
 	case errors.Is(err, core.ErrUnsupportedAlg):
 		return http.StatusNotFound
@@ -45,6 +47,8 @@ func kindFor(err error) string {
 		return "bad_processor_count"
 	case errors.Is(err, core.ErrBadOpts):
 		return "bad_opts"
+	case errors.Is(err, core.ErrBadTopology):
+		return "bad_topology"
 	case errors.Is(err, core.ErrUnsupportedAlg):
 		return "unsupported_alg"
 	case errors.Is(err, core.ErrGridMismatch):

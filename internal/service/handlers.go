@@ -12,6 +12,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/machine"
 	"repro/internal/matrix"
+	"repro/internal/topo"
 )
 
 // maxBodyBytes bounds request bodies; batch requests at the MaxBatch limit
@@ -27,6 +28,21 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 		return false
 	}
 	return true
+}
+
+// parseTopology resolves a request's topology block against a rank count:
+// the spec must describe exactly p endpoints and the placement must name a
+// known policy. Both failure modes wrap core.ErrBadTopology.
+func parseTopology(t *TopologyJSON, p int, link topo.Link) (topo.Topology, topo.Policy, error) {
+	fabric, err := topo.Parse(t.Spec, p, link)
+	if err != nil {
+		return nil, 0, err
+	}
+	pol, err := topo.ParsePolicy(t.Place)
+	if err != nil {
+		return nil, 0, err
+	}
+	return fabric, pol, nil
 }
 
 // parseProblem validates a Problem against the taxonomy.
@@ -214,6 +230,33 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		g = s.optimalGrid(d, req.P)
 	}
 	cfg := machine.Config{Alpha: req.Alpha, Beta: req.Beta, Gamma: req.Gamma}
+	if req.Topology != nil {
+		fabric, pol, err := parseTopology(req.Topology, req.P, topo.Link{Alpha: cfg.Alpha, Beta: cfg.Beta})
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		pred, err := s.predictTopo(d, g, cfg, fabric, pol)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, PredictResponse{
+			Problem:   req.Problem,
+			Grid:      GridJSON{g.P1, g.P2, g.P3},
+			Total:     pred.Total(),
+			Compute:   pred.Compute,
+			Bandwidth: pred.Bandwidth,
+			Latency:   pred.Latency,
+			Words:     pred.Words,
+			Messages:  pred.Messages,
+			Topology:  pred.Topology,
+			Placement: pred.Placement,
+			FlatTotal: pred.FlatTotal,
+			Slowdown:  pred.Slowdown,
+		})
+		return
+	}
 	pred := s.predict(d, g, cfg)
 	writeJSON(w, http.StatusOK, PredictResponse{
 		Problem:   req.Problem,
@@ -266,17 +309,6 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, fmt.Sprintf("batch of %d exceeds the limit %d", len(problems), s.cfg.MaxBatch))
 		return
 	}
-	// Validate everything synchronously so taxonomy errors come back on
-	// the submit, not buried in a failed job.
-	for i, p := range problems {
-		if _, err := s.checkSimProblem(p); err != nil {
-			if batch {
-				err = fmt.Errorf("batch[%d]: %w", i, err)
-			}
-			writeError(w, err)
-			return
-		}
-	}
 	opts := algs.Opts{Config: machine.Config{Alpha: req.Alpha, Beta: req.Beta, Gamma: req.Gamma}}
 	if req.Alpha == 0 && req.Beta == 0 && req.Gamma == 0 {
 		opts.Config = machine.BandwidthOnly()
@@ -287,6 +319,23 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if err := opts.Validate(); err != nil {
 		writeError(w, err)
 		return
+	}
+	// Validate everything synchronously so taxonomy errors come back on
+	// the submit, not buried in a failed job. The topology spec is sized
+	// against each problem's own P, so in a batch it must fit every entry.
+	for i, p := range problems {
+		_, err := s.checkSimProblem(p)
+		if err == nil && req.Topology != nil {
+			_, _, err = parseTopology(req.Topology, p.P,
+				topo.Link{Alpha: opts.Config.Alpha, Beta: opts.Config.Beta})
+		}
+		if err != nil {
+			if batch {
+				err = fmt.Errorf("batch[%d]: %w", i, err)
+			}
+			writeError(w, err)
+			return
+		}
 	}
 
 	id, err := s.jobs.Submit(func(ctx context.Context) (any, error) {
@@ -317,6 +366,19 @@ func (s *Server) simulateOne(ctx context.Context, entry algs.Entry, p Problem, r
 	if err := ctx.Err(); err != nil {
 		return SimulateResult{}, err
 	}
+	var topoName, placeName string
+	if req.Topology != nil {
+		// opts is a per-call copy; sizing the fabric to this problem's P
+		// cannot leak into the other batch entries.
+		fabric, pol, err := parseTopology(req.Topology, p.P,
+			topo.Link{Alpha: opts.Config.Alpha, Beta: opts.Config.Beta})
+		if err != nil {
+			return SimulateResult{}, err
+		}
+		opts.Topo = fabric
+		opts.Place = pol
+		topoName, placeName = fabric.Name(), pol.String()
+	}
 	a := matrix.Random(p.N1, p.N2, 2*req.Seed+17)
 	b := matrix.Random(p.N2, p.N3, 2*req.Seed+18)
 	res, err := entry.Run(a, b, p.P, opts)
@@ -333,6 +395,8 @@ func (s *Server) simulateOne(ctx context.Context, entry algs.Entry, p Problem, r
 		Bound:        bound,
 		TotalWords:   res.Stats.TotalWordsSent,
 		CriticalPath: res.Stats.CriticalPath,
+		Topology:     topoName,
+		Placement:    placeName,
 	}
 	if bound > 0 {
 		out.RatioToBound = out.CommCost / bound

@@ -8,6 +8,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/machine"
 	"repro/internal/model"
+	"repro/internal/topo"
 )
 
 // The memo layer: typed wrappers putting the sharded LRU in front of the
@@ -64,4 +65,33 @@ func (s *Server) predict(d core.Dims, g grid.Grid, cfg machine.Config) model.Pre
 	return s.cache.GetOrCompute(key, func() any {
 		return model.Alg1Time(d, g, cfg, collective.Auto)
 	}).(model.Prediction)
+}
+
+// topoPredictResult caches model.Alg1TimeTopo's outcome, error included —
+// a too-large fabric is as deterministic as a prediction.
+type topoPredictResult struct {
+	pred model.TopoPrediction
+	err  error
+}
+
+// predictTopo is model.Alg1TimeTopo through the cache: building the
+// network's per-pair charge tables is O(p²·hops) and the fiber sweep is
+// another O(p²), so repeated requests for the same fabric amortize both.
+// The key extends the flat predict key with the fabric name and placement.
+func (s *Server) predictTopo(d core.Dims, g grid.Grid, cfg machine.Config, fabric topo.Topology, place topo.Policy) (model.TopoPrediction, error) {
+	key := fmt.Sprintf("pt:%s:%d:%d:%d:%g:%g:%g:%s:%s",
+		dimsKey(d, g.Size()), g.P1, g.P2, g.P3, cfg.Alpha, cfg.Beta, cfg.Gamma, fabric.Name(), place)
+	r := s.cache.GetOrCompute(key, func() any {
+		pl, err := topo.Map(g, fabric, place)
+		if err != nil {
+			return topoPredictResult{err: err}
+		}
+		net, err := topo.NewNetwork(fabric, pl)
+		if err != nil {
+			return topoPredictResult{err: err}
+		}
+		pred, err := model.Alg1TimeTopo(d, g, cfg, collective.Auto, net)
+		return topoPredictResult{pred: pred, err: err}
+	}).(topoPredictResult)
+	return r.pred, r.err
 }

@@ -156,6 +156,10 @@ func TestErrorStatusMapping(t *testing.T) {
 		{"sim too large", "/v1/simulate", `{"n1":4000,"n2":4000,"n3":4000,"p":8}`, 400, "bad_dims"},
 		{"sim too many procs", "/v1/simulate", `{"n1":64,"n2":64,"n3":64,"p":100000}`, 400, "bad_processor_count"},
 		{"sim grid mismatch", "/v1/simulate", `{"n1":64,"n2":64,"n3":64,"p":8,"grid":{"p1":-1,"p2":2,"p3":4}}`, 422, "grid_mismatch"},
+		{"unknown topology", "/v1/predict", `{"n1":64,"n2":64,"n3":64,"p":8,"beta":1,"topology":{"spec":"hypercube=3"}}`, 400, "bad_topology"},
+		{"topology size mismatch", "/v1/predict", `{"n1":64,"n2":64,"n3":64,"p":8,"beta":1,"topology":{"spec":"torus=4x4"}}`, 400, "bad_topology"},
+		{"unknown placement", "/v1/simulate", `{"n1":64,"n2":64,"n3":64,"p":8,"topology":{"spec":"flat","place":"zigzag"}}`, 400, "bad_topology"},
+		{"batch topology mismatch", "/v1/simulate", `{"batch":[{"n1":64,"n2":64,"n3":64,"p":8},{"n1":48,"n2":48,"n3":48,"p":4}],"topology":{"spec":"torus=2x2x2"}}`, 400, "bad_topology"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

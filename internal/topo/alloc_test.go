@@ -1,0 +1,49 @@
+package topo
+
+import "testing"
+
+// TestChargeDoesNotAllocate pins the Charge hot path: the simulator calls
+// it once per message, so both the Flat uniform fast path and the
+// table-backed non-flat path must be allocation-free.
+func TestChargeDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts shift under -race instrumentation")
+	}
+	for _, spec := range []string{"flat", "twolevel=8", "torus=4x4x4"} {
+		n := mustNetwork(t, spec, 64, Contiguous)
+		var sink float64
+		got := testing.AllocsPerRun(100, func() {
+			for s := 0; s < 64; s++ {
+				a, b := n.Charge(s, (s+17)%64)
+				sink += a + b
+			}
+		})
+		if got != 0 {
+			t.Errorf("%s: Charge allocates %.1f per 64 calls, want 0", spec, got)
+		}
+		_ = sink
+	}
+}
+
+// TestRouteReusesBuffer pins the Route contract: routing into a
+// pre-grown buffer must not allocate.
+func TestRouteReusesBuffer(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts shift under -race instrumentation")
+	}
+	for _, spec := range []string{"flat", "twolevel=8", "torus=4x4x4", "fattree=4x3"} {
+		topo, err := Parse(spec, 64, testLink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]int, 0, 64)
+		got := testing.AllocsPerRun(100, func() {
+			for s := 0; s < 64; s++ {
+				buf = topo.Route(buf[:0], s, (s+21)%64)
+			}
+		})
+		if got != 0 {
+			t.Errorf("%s: Route allocates %.1f per 64 calls with warm buffer, want 0", spec, got)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// PhaseReport measures how one of Algorithm 1's collective phases loads the
+// fabric: the phase's flows are every ordered rank pair within each fiber of
+// its axis (the superset of the pairs any collective schedule on that fiber
+// uses), routed through the placement.
+type PhaseReport struct {
+	// Phase names the collective ("allgather-A", "allgather-B", "reduce-C").
+	Phase string `json:"phase"`
+	// Axis is the grid axis whose fibers the collective runs along.
+	Axis string `json:"axis"`
+	// Flows is the number of ordered pairs routed.
+	Flows int `json:"flows"`
+	// MaxLinkLoad is the largest number of the phase's flows crossing any
+	// single link.
+	MaxLinkLoad int `json:"max_link_load"`
+	// MaxChi is MaxLinkLoad normalized by fiber fan-in (fiber length − 1):
+	// the factor by which the busiest link is oversubscribed relative to a
+	// dedicated per-pair network, ≥ 1 whenever the phase communicates.
+	MaxChi float64 `json:"max_chi"`
+	// MeanHops and MaxHops are route-length statistics over the flows.
+	MeanHops float64 `json:"mean_hops"`
+	MaxHops  int     `json:"max_hops"`
+}
+
+// CongestionReport is the per-phase fabric load of Algorithm 1 on one
+// grid/topology/placement combination.
+type CongestionReport struct {
+	Topology  string        `json:"topology"`
+	Placement string        `json:"placement"`
+	Grid      string        `json:"grid"`
+	Phases    []PhaseReport `json:"phases"`
+}
+
+// MaxChi returns the worst per-phase oversubscription factor.
+func (r CongestionReport) MaxChi() float64 {
+	m := 1.0
+	for _, ph := range r.Phases {
+		if ph.MaxChi > m {
+			m = ph.MaxChi
+		}
+	}
+	return m
+}
+
+// alg1Phases pairs each collective of Algorithm 1 with the axis its
+// communicator fibers run along (§5: the A panel is gathered across Axis3,
+// the B panel across Axis1, and C contributions are reduced across Axis2).
+var alg1Phases = []struct {
+	name string
+	axis grid.Axis
+}{
+	{"allgather-A", grid.Axis3},
+	{"allgather-B", grid.Axis1},
+	{"reduce-C", grid.Axis2},
+}
+
+// Congest analyzes Algorithm 1's three collective phases on grid g embedded
+// into topology t by placement pl, returning the per-phase busiest-link
+// load and route-length statistics. The placement must cover g.Size()
+// ranks; a mismatch wraps core.ErrBadTopology.
+func Congest(g grid.Grid, t Topology, pl Placement) (CongestionReport, error) {
+	if err := g.Validate(); err != nil {
+		return CongestionReport{}, err
+	}
+	if g.Size() != t.P() || len(pl.ToEndpoint) != t.P() {
+		return CongestionReport{}, fmt.Errorf("topo: grid %v (%d ranks), topology %s (%d endpoints), placement (%d ranks) disagree: %w",
+			g, g.Size(), t.Name(), t.P(), len(pl.ToEndpoint), core.ErrBadTopology)
+	}
+	rep := CongestionReport{
+		Topology:  t.Name(),
+		Placement: pl.Policy.String(),
+		Grid:      g.String(),
+	}
+	load := make([]int, t.NumLinks())
+	var route []int
+	for _, phase := range alg1Phases {
+		for i := range load {
+			load[i] = 0
+		}
+		flows, totalHops, maxHops := 0, 0, 0
+		fiber := make([]int, g.FiberLen(phase.axis))
+		seen := make([]bool, g.Size())
+		for r := 0; r < g.Size(); r++ {
+			if seen[r] {
+				continue
+			}
+			g.FiberInto(fiber, r, phase.axis)
+			for _, m := range fiber {
+				seen[m] = true
+			}
+			for _, s := range fiber {
+				for _, d := range fiber {
+					if s == d {
+						continue
+					}
+					route = t.Route(route[:0], pl.ToEndpoint[s], pl.ToEndpoint[d])
+					for _, l := range route {
+						load[l]++
+					}
+					flows++
+					totalHops += len(route)
+					if len(route) > maxHops {
+						maxHops = len(route)
+					}
+				}
+			}
+		}
+		maxLoad := 0
+		for _, l := range load {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		ph := PhaseReport{
+			Phase:       phase.name,
+			Axis:        phase.axis.String(),
+			Flows:       flows,
+			MaxLinkLoad: maxLoad,
+			MaxHops:     maxHops,
+		}
+		// A dedicated per-pair network carries one flow per link; within a
+		// fiber of length k each endpoint has k−1 partners, so normalize the
+		// busiest link by that fan-in.
+		fan := g.FiberLen(phase.axis) - 1
+		if fan < 1 {
+			fan = 1
+		}
+		ph.MaxChi = float64(maxLoad) / float64(fan)
+		if ph.MaxChi < 1 && flows > 0 {
+			ph.MaxChi = 1
+		}
+		if flows > 0 {
+			ph.MeanHops = float64(totalHops) / float64(flows)
+		}
+		rep.Phases = append(rep.Phases, ph)
+	}
+	return rep, nil
+}

@@ -1,0 +1,135 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// FatTree is a radix-ary tree of switches over radix^levels leaf endpoints.
+// The tree edge between a level-ℓ subtree (radix^ℓ leaves) and its parent
+// consists of widths[ℓ] parallel cables; routes climb to the lowest common
+// ancestor and descend, picking one cable per level deterministically from
+// the (src, dst) pair so flows spread across the parallel cables. With the
+// default widths (radix^ℓ, a full-bisection fat-tree) no tree edge is
+// oversubscribed; with widths all 1 (a "skinny" tree, spec "tree=RxL") the
+// root edge carries every cross-half flow and congestion is maximal.
+type FatTree struct {
+	radix, levels int
+	widths        []int
+	link          Link
+	p             int
+	offsets       []int // link-id offset of each level's cable block
+	numLinks      int
+}
+
+// NewFatTree builds a fat-tree. widths may be nil (full bisection:
+// widths[ℓ] = radix^ℓ) or give the cable count per level (level 0 is the
+// leaf edge). Invalid shapes wrap core.ErrBadTopology.
+func NewFatTree(radix, levels int, widths []int, link Link) (*FatTree, error) {
+	if radix < 2 || levels < 1 {
+		return nil, fmt.Errorf("topo: fat-tree needs radix ≥ 2 and levels ≥ 1, got %dx%d: %w",
+			radix, levels, core.ErrBadTopology)
+	}
+	p := 1
+	for i := 0; i < levels; i++ {
+		if p > 1<<22/radix {
+			return nil, fmt.Errorf("topo: fat-tree %dx%d has too many leaves: %w", radix, levels, core.ErrBadTopology)
+		}
+		p *= radix
+	}
+	if widths == nil {
+		widths = make([]int, levels)
+		w := 1
+		for i := range widths {
+			widths[i] = w
+			w *= radix
+		}
+	}
+	if len(widths) != levels {
+		return nil, fmt.Errorf("topo: fat-tree %dx%d wants %d widths, got %d: %w",
+			radix, levels, levels, len(widths), core.ErrBadTopology)
+	}
+	for _, w := range widths {
+		if w <= 0 {
+			return nil, fmt.Errorf("topo: fat-tree width %d must be positive: %w", w, core.ErrBadTopology)
+		}
+	}
+	t := &FatTree{
+		radix:  radix,
+		levels: levels,
+		widths: append([]int(nil), widths...),
+		link:   link,
+		p:      p,
+	}
+	t.offsets = make([]int, levels)
+	id, nodes := 0, p
+	for l := 0; l < levels; l++ {
+		t.offsets[l] = id
+		id += nodes * t.widths[l] * 2
+		nodes /= radix
+	}
+	t.numLinks = id
+	return t, nil
+}
+
+// Name returns the spec string ("fattree=RxL", or "tree=RxL" when every
+// level has a single cable).
+func (t *FatTree) Name() string {
+	kind := "tree"
+	for _, w := range t.widths {
+		if w != 1 {
+			kind = "fattree"
+			break
+		}
+	}
+	return fmt.Sprintf("%s=%dx%d", kind, t.radix, t.levels)
+}
+
+// P returns the leaf count radix^levels.
+func (t *FatTree) P() int { return t.p }
+
+// NodeSize returns the radix: consecutive leaves share a first-level
+// switch.
+func (t *FatTree) NodeSize() int { return t.radix }
+
+// NumLinks returns the total cable count (up and down, all levels).
+func (t *FatTree) NumLinks() int { return t.numLinks }
+
+// linkID identifies cable c (dir 0 = up, 1 = down) between level-l node
+// `node` and its parent.
+func (t *FatTree) linkID(l, node, cable, dir int) int {
+	return t.offsets[l] + (node*t.widths[l]+cable)*2 + dir
+}
+
+// Route climbs from src to the lowest common ancestor and descends to dst,
+// choosing cables deterministically from the endpoint pair.
+func (t *FatTree) Route(buf []int, src, dst int) []int {
+	if src == dst {
+		return buf
+	}
+	// Find the LCA level: the smallest l with equal level-l ancestors.
+	lca, s, d := 0, src, dst
+	for s != d {
+		s /= t.radix
+		d /= t.radix
+		lca++
+	}
+	for l, node := 0, src; l < lca; l++ {
+		cable := (src*31 + dst) % t.widths[l]
+		buf = append(buf, t.linkID(l, node, cable, 0))
+		node /= t.radix
+	}
+	for l := lca - 1; l >= 0; l-- {
+		node := dst
+		for i := 0; i < l; i++ {
+			node /= t.radix
+		}
+		cable := (src*31 + dst) % t.widths[l]
+		buf = append(buf, t.linkID(l, node, cable, 1))
+	}
+	return buf
+}
+
+// Link returns the uniform per-cable link cost.
+func (t *FatTree) Link(int) Link { return t.link }

@@ -1,0 +1,45 @@
+package topo
+
+import "fmt"
+
+// Flat is the paper's fully connected network: a dedicated directed link
+// per ordered endpoint pair, so no two flows ever share a link and every
+// message is charged exactly (α, β). It exists so topology-aware code paths
+// can be exercised while reproducing the uniform model bit-for-bit —
+// Network special-cases it to a uniform charge with no per-pair tables.
+type Flat struct {
+	p    int
+	link Link
+}
+
+// NewFlat builds the fully connected topology on p endpoints.
+func NewFlat(p int, link Link) *Flat {
+	if p <= 0 {
+		panic(fmt.Sprintf("topo: flat with %d endpoints", p))
+	}
+	return &Flat{p: p, link: link}
+}
+
+// Name returns "flat".
+func (f *Flat) Name() string { return "flat" }
+
+// P returns the endpoint count.
+func (f *Flat) P() int { return f.p }
+
+// NodeSize returns 1: a flat network has no locality unit.
+func (f *Flat) NodeSize() int { return 1 }
+
+// NumLinks returns p², one dedicated link per ordered pair (diagonal ids
+// unused).
+func (f *Flat) NumLinks() int { return f.p * f.p }
+
+// Route returns the single dedicated link of the pair.
+func (f *Flat) Route(buf []int, src, dst int) []int {
+	if src == dst {
+		return buf
+	}
+	return append(buf, src*f.p+dst)
+}
+
+// Link returns the uniform link cost.
+func (f *Flat) Link(int) Link { return f.link }

@@ -1,0 +1,154 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// maxNetworkP bounds the rank count for which Network precomputes per-pair
+// charge tables (two p² float64 slices plus the all-to-all route
+// enumeration). Flat networks bypass the tables and have no cap.
+const maxNetworkP = 2048
+
+// Network is the cost oracle the machine simulator charges sends through:
+// for every ordered rank pair it answers the effective (α, β) of one
+// message, under the max-congested-link model.
+//
+// Latency is additive over the route: α(s, d) = Σ_{l ∈ route} Link(l).Alpha.
+// Bandwidth is throttled by the route's most contended link:
+// β(s, d) = max_{l ∈ route} Link(l).Beta · χ_l, where the concurrent-use
+// factor χ_l = max(1, flows_l / (p−1)) counts the ordered endpoint pairs
+// whose route crosses l, normalized so that a dedicated per-pair link — each
+// endpoint talking to its p−1 peers over p−1 private links — has χ = 1.
+// The factors are static (all-to-all enumeration at construction), keeping
+// the simulator deterministic: charges never depend on goroutine timing.
+//
+// All tables are computed once in NewNetwork; Charge is a pair of slice
+// loads, allocation-free and safe for concurrent use. A Flat topology is
+// special-cased to a uniform charge with no tables at all, so the paper's
+// model runs unchanged at any p.
+type Network struct {
+	p    int
+	topo Topology
+	pl   Placement
+
+	// uniform covers Flat: every pair charges exactly (alpha, beta).
+	uniform     bool
+	alpha, beta float64
+
+	// lat[s*p+d], bw[s*p+d] are the per-pair charges otherwise.
+	lat, bw []float64
+
+	maxChi  float64 // largest χ over links any route uses
+	maxHops int     // longest route, in links
+}
+
+// NewNetwork precomputes the charge tables for topology t under placement
+// pl. The placement must cover exactly t.P() ranks; non-flat topologies are
+// limited to maxNetworkP ranks (the tables are quadratic). Violations wrap
+// core.ErrBadTopology.
+func NewNetwork(t Topology, pl Placement) (*Network, error) {
+	p := t.P()
+	if len(pl.ToEndpoint) != p {
+		return nil, fmt.Errorf("topo: placement covers %d ranks, %s has %d endpoints: %w",
+			len(pl.ToEndpoint), t.Name(), p, core.ErrBadTopology)
+	}
+	n := &Network{p: p, topo: t, pl: pl}
+	if f, ok := t.(*Flat); ok {
+		n.uniform = true
+		n.alpha, n.beta = f.link.Alpha, f.link.Beta
+		n.maxChi, n.maxHops = 1, 1
+		return n, nil
+	}
+	if p > maxNetworkP {
+		return nil, fmt.Errorf("topo: %s has %d ranks, per-pair charge tables support at most %d: %w",
+			t.Name(), p, maxNetworkP, core.ErrBadTopology)
+	}
+
+	// Pass 1: all-to-all flow counts per link.
+	flows := make([]int, t.NumLinks())
+	var buf []int
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			if s == d {
+				continue
+			}
+			buf = t.Route(buf[:0], pl.ToEndpoint[s], pl.ToEndpoint[d])
+			for _, l := range buf {
+				flows[l]++
+			}
+		}
+	}
+
+	// Pass 2: per-pair charges under χ_l = max(1, flows_l/(p−1)).
+	chi := make([]float64, len(flows))
+	norm := float64(p - 1)
+	if norm < 1 {
+		norm = 1
+	}
+	for l, f := range flows {
+		c := float64(f) / norm
+		if c < 1 {
+			c = 1
+		}
+		chi[l] = c
+	}
+	n.lat = make([]float64, p*p)
+	n.bw = make([]float64, p*p)
+	n.maxHops = 0
+	n.maxChi = 1
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			if s == d {
+				continue
+			}
+			buf = t.Route(buf[:0], pl.ToEndpoint[s], pl.ToEndpoint[d])
+			if len(buf) > n.maxHops {
+				n.maxHops = len(buf)
+			}
+			var a, b float64
+			for _, l := range buf {
+				lk := t.Link(l)
+				a += lk.Alpha
+				if eff := lk.Beta * chi[l]; eff > b {
+					b = eff
+				}
+				if chi[l] > n.maxChi {
+					n.maxChi = chi[l]
+				}
+			}
+			n.lat[s*p+d] = a
+			n.bw[s*p+d] = b
+		}
+	}
+	return n, nil
+}
+
+// Charge returns the effective per-message latency α and per-word cost β
+// for one message from rank src to rank dst. It never allocates.
+func (n *Network) Charge(src, dst int) (alpha, beta float64) {
+	if n.uniform {
+		return n.alpha, n.beta
+	}
+	i := src*n.p + dst
+	return n.lat[i], n.bw[i]
+}
+
+// P returns the rank count.
+func (n *Network) P() int { return n.p }
+
+// Topology returns the underlying fabric.
+func (n *Network) Topology() Topology { return n.topo }
+
+// Placement returns the rank→endpoint embedding the charges were computed
+// under.
+func (n *Network) Placement() Placement { return n.pl }
+
+// MaxCongestion returns the largest concurrent-use factor χ over all links
+// any route crosses: 1 means no link is busier than a dedicated per-pair
+// link under all-to-all traffic.
+func (n *Network) MaxCongestion() float64 { return n.maxChi }
+
+// MaxHops returns the longest route length in links.
+func (n *Network) MaxHops() int { return n.maxHops }

@@ -1,0 +1,114 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// Policy selects how machine ranks are laid out on a topology's endpoints.
+type Policy int
+
+const (
+	// Contiguous places rank i on endpoint i: consecutive ranks — and thus
+	// the innermost fibers of a p1×p2×p3 grid, whose i3 coordinate varies
+	// fastest — share the topology's locality unit. The default.
+	Contiguous Policy = iota
+	// RoundRobin deals consecutive ranks across locality units like cards:
+	// rank i lands on endpoint (i mod nb)·b + i/b·... (one rank per unit
+	// before reusing any), scattering every grid fiber across the machine.
+	// The adversarial placement for locality, useful to bound how much
+	// placement alone costs.
+	RoundRobin
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Contiguous:
+		return "contiguous"
+	case RoundRobin:
+		return "roundrobin"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Policies lists the accepted placement names.
+func Policies() []string { return []string{"contiguous", "roundrobin"} }
+
+// ParsePolicy resolves a placement name (case-insensitive); the empty
+// string selects Contiguous. Unknown names wrap core.ErrBadTopology.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "contiguous", "contig":
+		return Contiguous, nil
+	case "roundrobin", "rr":
+		return RoundRobin, nil
+	default:
+		return 0, fmt.Errorf("topo: unknown placement %q (valid: %s): %w",
+			s, strings.Join(Policies(), ", "), core.ErrBadTopology)
+	}
+}
+
+// Placement is a bijection from machine ranks to topology endpoints.
+type Placement struct {
+	// Policy is the policy that produced the placement.
+	Policy Policy
+	// ToEndpoint maps rank → endpoint; it is always a permutation of
+	// [0, P).
+	ToEndpoint []int
+}
+
+// Endpoint returns the endpoint hosting rank r.
+func (pl Placement) Endpoint(r int) int { return pl.ToEndpoint[r] }
+
+// PlaceRanks lays p machine ranks onto t's endpoints under the policy. The
+// rank count must equal the endpoint count (the simulator identifies ranks
+// with network attachment points); a mismatch wraps core.ErrBadTopology.
+func PlaceRanks(p int, t Topology, policy Policy) (Placement, error) {
+	if t.P() != p {
+		return Placement{}, fmt.Errorf("topo: %s has %d endpoints, machine has %d ranks: %w",
+			t.Name(), t.P(), p, core.ErrBadTopology)
+	}
+	pl := Placement{Policy: policy, ToEndpoint: make([]int, p)}
+	switch policy {
+	case Contiguous:
+		for i := range pl.ToEndpoint {
+			pl.ToEndpoint[i] = i
+		}
+	case RoundRobin:
+		b := t.NodeSize()
+		if b <= 1 || p%b != 0 {
+			// No whole locality units to deal across; identity is the only
+			// sensible bijection.
+			for i := range pl.ToEndpoint {
+				pl.ToEndpoint[i] = i
+			}
+			break
+		}
+		nb := p / b
+		// Rank i goes to unit (i mod nb), slot (i / nb): consecutive ranks
+		// land on distinct units until every unit holds one, then wrap.
+		for i := range pl.ToEndpoint {
+			pl.ToEndpoint[i] = (i%nb)*b + i/nb
+		}
+	default:
+		return Placement{}, fmt.Errorf("topo: unknown placement policy %d: %w", int(policy), core.ErrBadTopology)
+	}
+	return pl, nil
+}
+
+// Map embeds the logical p1×p2×p3 grid onto the topology: machine rank
+// g.Rank(i1,i2,i3) (i3 fastest) is assigned a topology endpoint under the
+// policy. The grid size must equal the endpoint count. Contiguous keeps
+// each Axis3 fiber — the partners of Algorithm 1's A All-Gather — within
+// consecutive endpoints; RoundRobin scatters every fiber across locality
+// units.
+func Map(g grid.Grid, t Topology, policy Policy) (Placement, error) {
+	if err := g.Validate(); err != nil {
+		return Placement{}, err
+	}
+	return PlaceRanks(g.Size(), t, policy)
+}

@@ -1,0 +1,135 @@
+package topo
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// divisorTriples enumerates every ordered (p1, p2, p3) with p1·p2·p3 = p.
+func divisorTriples(p int) []grid.Grid {
+	var out []grid.Grid
+	for p1 := 1; p1 <= p; p1++ {
+		if p%p1 != 0 {
+			continue
+		}
+		q := p / p1
+		for p2 := 1; p2 <= q; p2++ {
+			if q%p2 == 0 {
+				out = append(out, grid.Grid{P1: p1, P2: p2, P3: q / p2})
+			}
+		}
+	}
+	return out
+}
+
+// smallestDivisor returns the smallest divisor of p greater than 1, or 1.
+func smallestDivisor(p int) int {
+	for d := 2; d*d <= p; d++ {
+		if p%d == 0 {
+			return d
+		}
+	}
+	if p > 1 {
+		return p
+	}
+	return 1
+}
+
+// TestPlacementBijection is the property test of the placement mapper:
+// for every divisor triple of every P ≤ 512, every policy on every
+// applicable topology yields a permutation of the ranks — no grid cell is
+// dropped or doubled on the fabric.
+func TestPlacementBijection(t *testing.T) {
+	for p := 1; p <= 512; p++ {
+		triples := divisorTriples(p)
+		topos := []Topology{NewFlat(p, testLink)}
+		if g := smallestDivisor(p); g > 1 && g < p {
+			topos = append(topos, NewTwoLevel(p/g, g, testLink, testLink))
+		}
+		for _, g := range triples {
+			// The grid's own shape doubles as a torus of the same size.
+			torus, err := NewTorus([]int{g.P1, g.P2, g.P3}, testLink)
+			if err != nil {
+				t.Fatalf("P=%d torus %v: %v", p, g, err)
+			}
+			for _, topo := range append(topos, Topology(torus)) {
+				for _, pol := range []Policy{Contiguous, RoundRobin} {
+					pl, err := Map(g, topo, pol)
+					if err != nil {
+						t.Fatalf("Map(%v, %s, %v): %v", g, topo.Name(), pol, err)
+					}
+					if len(pl.ToEndpoint) != p {
+						t.Fatalf("Map(%v, %s, %v): %d entries, want %d", g, topo.Name(), pol, len(pl.ToEndpoint), p)
+					}
+					seen := make([]bool, p)
+					for r, e := range pl.ToEndpoint {
+						if e < 0 || e >= p || seen[e] {
+							t.Fatalf("Map(%v, %s, %v): rank %d → endpoint %d is out of range or duplicated", g, topo.Name(), pol, r, e)
+						}
+						seen[e] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlaceRanksContiguousIsIdentity pins the contiguous embedding: rank i
+// sits on endpoint i, so Flat + contiguous is exactly the paper's machine.
+func TestPlaceRanksContiguousIsIdentity(t *testing.T) {
+	pl, err := PlaceRanks(16, NewFlat(16, testLink), Contiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range pl.ToEndpoint {
+		if e != i {
+			t.Fatalf("contiguous placement moved rank %d to endpoint %d", i, e)
+		}
+	}
+}
+
+// TestPlaceRanksRoundRobinScatters checks round-robin deals consecutive
+// ranks onto distinct locality units.
+func TestPlaceRanksRoundRobinScatters(t *testing.T) {
+	topo := NewTwoLevel(8, 8, testLink, testLink) // 64 ranks, nodes of 8
+	pl, err := PlaceRanks(64, topo, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		a, b := pl.ToEndpoint[i]/8, pl.ToEndpoint[i+1]/8
+		if a == b {
+			t.Fatalf("round-robin put consecutive ranks %d, %d on the same node %d", i, i+1, a)
+		}
+	}
+}
+
+// TestPlaceRanksMismatch checks a rank/endpoint count mismatch wraps
+// core.ErrBadTopology.
+func TestPlaceRanksMismatch(t *testing.T) {
+	if _, err := PlaceRanks(8, NewFlat(16, testLink), Contiguous); !errors.Is(err, core.ErrBadTopology) {
+		t.Errorf("PlaceRanks size mismatch = %v, want ErrBadTopology", err)
+	}
+	if _, err := Map(grid.Grid{P1: 2, P2: 2, P3: 2}, NewFlat(16, testLink), Contiguous); !errors.Is(err, core.ErrBadTopology) {
+		t.Errorf("Map size mismatch = %v, want ErrBadTopology", err)
+	}
+}
+
+// TestParsePolicy covers the placement-name parser.
+func TestParsePolicy(t *testing.T) {
+	for spec, want := range map[string]Policy{
+		"": Contiguous, "contiguous": Contiguous, "contig": Contiguous,
+		"roundrobin": RoundRobin, "RR": RoundRobin, " RoundRobin ": RoundRobin,
+	} {
+		got, err := ParsePolicy(spec)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", spec, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("random"); !errors.Is(err, core.ErrBadTopology) {
+		t.Errorf("ParsePolicy(random) = %v, want ErrBadTopology", err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package topo
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation changes allocation counts, so the alloc-regression tests
+// skip themselves.
+const raceEnabled = true

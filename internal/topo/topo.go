@@ -1,0 +1,174 @@
+// Package topo models interconnect topologies for the simulated machine.
+//
+// The paper's α-β-γ model (§3.1) assumes a fully connected network: every
+// processor pair owns a dedicated bidirectional link, so a message costs
+// α + β·w regardless of who else is communicating. Real machines are
+// hierarchical — ranks share NICs, switches, and torus or fat-tree fabrics —
+// and the question the topology subsystem answers is *when the paper's
+// tight constants survive contention and locality*.
+//
+// A Topology describes the fabric as a set of directed links, each with its
+// own per-message latency α and per-word cost β, plus a deterministic
+// routing function mapping every ordered endpoint pair to the sequence of
+// links its messages traverse. On top of it:
+//
+//   - Placement (place.go) embeds the machine's ranks — in particular the
+//     §5.2 optimal p1×p2×p3 grid — onto the topology's endpoints, either
+//     contiguously (consecutive ranks share a locality unit) or round-robin
+//     (consecutive ranks scattered across locality units).
+//   - Network (network.go) precomputes the effective per-message charge of
+//     every rank pair under the max-congested-link model: latency is the
+//     route's total α, bandwidth is the words times the largest β·χ over
+//     the route's links, where χ is the link's concurrent-use factor (its
+//     all-to-all flow count normalized so a dedicated per-pair link has
+//     χ = 1). The machine simulator charges sends through this oracle.
+//   - Congestion reports (congestion.go) analyze Algorithm 1's three
+//     collective phases pattern-exactly: for the flows of each phase, the
+//     busiest link's concurrent-use count and the route-length statistics.
+//
+// The Flat topology reproduces the paper's model bit-for-bit: one dedicated
+// link per ordered pair, χ ≡ 1, so every charge is exactly (α, β).
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Link is one directed communication channel of a topology.
+type Link struct {
+	// Alpha is the per-message latency of traversing the link.
+	Alpha float64
+	// Beta is the per-word cost of the link at full, uncontended capacity.
+	Beta float64
+}
+
+// Topology is an interconnect fabric: endpoints (one per machine rank),
+// directed links with individual costs, and a deterministic routing
+// function. Implementations must be immutable after construction and safe
+// for concurrent use; Route must not allocate beyond growing buf.
+type Topology interface {
+	// Name returns the topology's spec string (e.g. "torus=4x4x4").
+	Name() string
+	// P returns the number of endpoints.
+	P() int
+	// NodeSize returns the topology's locality unit — the number of
+	// consecutive endpoints that share the cheapest level of the hierarchy
+	// (ranks per node, innermost torus extent, fat-tree radix). Placement
+	// policies use it as the round-robin block size; it is 1 when the
+	// topology has no locality to exploit.
+	NodeSize() int
+	// NumLinks returns the size of the link id space; Route only yields
+	// ids in [0, NumLinks).
+	NumLinks() int
+	// Route appends the link ids of the path from endpoint src to endpoint
+	// dst to buf and returns it. src == dst yields no links. Routing is
+	// deterministic and minimal for every implementation in this package.
+	Route(buf []int, src, dst int) []int
+	// Link returns the cost parameters of one link.
+	Link(id int) Link
+}
+
+// Kinds lists the accepted Parse spec shapes, for error messages and CLI
+// usage strings.
+func Kinds() []string {
+	return []string{
+		"flat",
+		"twolevel=<ranks-per-node>",
+		"torus=<d1>x<d2>[x<d3>...]",
+		"fattree=<radix>x<levels>",
+		"tree=<radix>x<levels>",
+	}
+}
+
+// Parse builds the topology named by spec for a machine of p ranks, with
+// every link costing base. Specs:
+//
+//	flat                     dedicated link per pair (the paper's model)
+//	twolevel=<g>             nodes of g ranks around a central switch
+//	torus=<d1>x<d2>[x...]    k-ary torus with dimension-ordered routing
+//	fattree=<radix>x<levels> full-bisection fat-tree (widths radix^level)
+//	tree=<radix>x<levels>    skinny tree (every level width 1)
+//
+// A malformed spec, a shape that does not multiply out to p, or an unknown
+// kind wraps core.ErrBadTopology.
+func Parse(spec string, p int, base Link) (Topology, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("topo: need a positive rank count, got %d: %w", p, core.ErrBadTopology)
+	}
+	kind, arg, hasArg := strings.Cut(strings.TrimSpace(strings.ToLower(spec)), "=")
+	switch kind {
+	case "flat":
+		if hasArg {
+			return nil, fmt.Errorf("topo: flat takes no parameter, got %q: %w", spec, core.ErrBadTopology)
+		}
+		return NewFlat(p, base), nil
+	case "twolevel":
+		g, err := strconv.Atoi(arg)
+		if err != nil || g <= 0 {
+			return nil, fmt.Errorf("topo: twolevel wants a positive ranks-per-node count, got %q (valid: %s): %w",
+				spec, strings.Join(Kinds(), ", "), core.ErrBadTopology)
+		}
+		if p%g != 0 {
+			return nil, fmt.Errorf("topo: twolevel=%d does not divide %d ranks into whole nodes: %w", g, p, core.ErrBadTopology)
+		}
+		return NewTwoLevel(p/g, g, base, base), nil
+	case "torus":
+		dims, err := parseExtents(arg)
+		if err != nil {
+			return nil, fmt.Errorf("topo: torus wants extents like 4x4x4, got %q: %w", spec, core.ErrBadTopology)
+		}
+		t, err := NewTorus(dims, base)
+		if err != nil {
+			return nil, err
+		}
+		if t.P() != p {
+			return nil, fmt.Errorf("topo: torus %s has %d endpoints, machine has %d ranks: %w", arg, t.P(), p, core.ErrBadTopology)
+		}
+		return t, nil
+	case "fattree", "tree":
+		dims, err := parseExtents(arg)
+		if err != nil || len(dims) != 2 {
+			return nil, fmt.Errorf("topo: %s wants <radix>x<levels>, got %q: %w", kind, spec, core.ErrBadTopology)
+		}
+		radix, levels := dims[0], dims[1]
+		var widths []int
+		if kind == "tree" {
+			widths = make([]int, levels)
+			for i := range widths {
+				widths[i] = 1
+			}
+		}
+		t, err := NewFatTree(radix, levels, widths, base)
+		if err != nil {
+			return nil, err
+		}
+		if t.P() != p {
+			return nil, fmt.Errorf("topo: %s=%s has %d leaves, machine has %d ranks: %w", kind, arg, t.P(), p, core.ErrBadTopology)
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("topo: unknown topology %q (valid: %s): %w",
+			spec, strings.Join(Kinds(), ", "), core.ErrBadTopology)
+	}
+}
+
+// parseExtents parses "4x4x4" into positive ints.
+func parseExtents(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad extent %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty extents")
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Torus is a k-ary d-dimensional torus: endpoints are lattice points of
+// dims (last coordinate varying fastest, matching grid.Grid's rank order),
+// each connected to its two neighbors per dimension by directed links.
+// Routing is dimension-ordered and minimal, taking the shorter way around
+// each ring (ties break toward increasing coordinates), so a message
+// traverses Σ_d ringdist(src_d, dst_d) links and congestion concentrates on
+// the ring links exactly as in a physical torus fabric.
+type Torus struct {
+	dims []int
+	link Link
+	p    int
+}
+
+// NewTorus builds a torus with the given extents (at least one, all
+// positive). Shapes wrap core.ErrBadTopology on failure.
+func NewTorus(dims []int, link Link) (*Torus, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("topo: torus needs at least one extent: %w", core.ErrBadTopology)
+	}
+	p := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("topo: torus extent %d must be positive: %w", d, core.ErrBadTopology)
+		}
+		p *= d
+	}
+	return &Torus{dims: append([]int(nil), dims...), link: link, p: p}, nil
+}
+
+// Name returns the spec string.
+func (t *Torus) Name() string {
+	s := "torus="
+	for i, d := range t.dims {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprintf("%d", d)
+	}
+	return s
+}
+
+// P returns the product of the extents.
+func (t *Torus) P() int { return t.p }
+
+// Dims returns a copy of the extents.
+func (t *Torus) Dims() []int { return append([]int(nil), t.dims...) }
+
+// NodeSize returns the innermost (fastest-varying) extent: consecutive
+// endpoints lie along that ring.
+func (t *Torus) NodeSize() int { return t.dims[len(t.dims)-1] }
+
+// NumLinks returns 2 directed links per endpoint per dimension.
+func (t *Torus) NumLinks() int { return t.p * len(t.dims) * 2 }
+
+// linkID identifies the directed link leaving endpoint e along dim in
+// direction dir (0 = +1, 1 = −1).
+func (t *Torus) linkID(e, dim, dir int) int {
+	return (e*len(t.dims)+dim)*2 + dir
+}
+
+// coord returns endpoint e's coordinate along dim.
+func (t *Torus) coord(e, dim int) int {
+	for d := len(t.dims) - 1; d > dim; d-- {
+		e /= t.dims[d]
+	}
+	return e % t.dims[dim]
+}
+
+// step returns the endpoint one hop from e along dim in direction dir.
+func (t *Torus) step(e, dim, dir int) int {
+	stride := 1
+	for d := len(t.dims) - 1; d > dim; d-- {
+		stride *= t.dims[d]
+	}
+	k := t.dims[dim]
+	c := t.coord(e, dim)
+	nc := c + 1
+	if dir == 1 {
+		nc = c - 1 + k
+	}
+	return e + (nc%k-c)*stride
+}
+
+// Route walks dimension by dimension, taking the shorter ring direction.
+func (t *Torus) Route(buf []int, src, dst int) []int {
+	cur := src
+	for dim := range t.dims {
+		k := t.dims[dim]
+		fwd := (t.coord(dst, dim) - t.coord(cur, dim) + k) % k
+		if fwd == 0 {
+			continue
+		}
+		dir, steps := 0, fwd
+		if k-fwd < fwd {
+			dir, steps = 1, k-fwd
+		}
+		for s := 0; s < steps; s++ {
+			buf = append(buf, t.linkID(cur, dim, dir))
+			cur = t.step(cur, dim, dir)
+		}
+	}
+	return buf
+}
+
+// Link returns the uniform per-hop link cost.
+func (t *Torus) Link(int) Link { return t.link }

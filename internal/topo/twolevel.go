@@ -1,0 +1,66 @@
+package topo
+
+import "fmt"
+
+// TwoLevel is the node/NIC hierarchy of a commodity cluster: endpoints are
+// grouped into nodes of perNode ranks; ranks on the same node exchange over
+// dedicated intra-node links (one per ordered pair, cost intra), while
+// every inter-node message traverses exactly two shared links — the source
+// node's NIC uplink and the destination node's NIC downlink (cost nic
+// each). The uplink of a node is shared by all of its ranks' outbound
+// traffic, which is where NIC oversubscription (χ ≈ ranks-per-node under
+// uniform traffic) comes from.
+type TwoLevel struct {
+	nodes, perNode int
+	intra, nic     Link
+}
+
+// NewTwoLevel builds a cluster of nodes × perNode endpoints.
+func NewTwoLevel(nodes, perNode int, intra, nic Link) *TwoLevel {
+	if nodes <= 0 || perNode <= 0 {
+		panic(fmt.Sprintf("topo: twolevel %d nodes x %d ranks", nodes, perNode))
+	}
+	return &TwoLevel{nodes: nodes, perNode: perNode, intra: intra, nic: nic}
+}
+
+// Name returns the spec string.
+func (t *TwoLevel) Name() string { return fmt.Sprintf("twolevel=%d", t.perNode) }
+
+// P returns nodes · perNode.
+func (t *TwoLevel) P() int { return t.nodes * t.perNode }
+
+// NodeSize returns the ranks-per-node count.
+func (t *TwoLevel) NodeSize() int { return t.perNode }
+
+// NumLinks returns the id-space size: 2 NIC links per node followed by the
+// dedicated intra-node pair links.
+func (t *TwoLevel) NumLinks() int {
+	return 2*t.nodes + t.nodes*t.perNode*t.perNode
+}
+
+// up and down are the NIC link ids of a node.
+func (t *TwoLevel) up(node int) int   { return 2 * node }
+func (t *TwoLevel) down(node int) int { return 2*node + 1 }
+
+// Route is one intra-node hop within a node, or up-then-down across nodes.
+func (t *TwoLevel) Route(buf []int, src, dst int) []int {
+	if src == dst {
+		return buf
+	}
+	sn, dn := src/t.perNode, dst/t.perNode
+	if sn == dn {
+		sl, dl := src%t.perNode, dst%t.perNode
+		id := 2*t.nodes + (sn*t.perNode+sl)*t.perNode + dl
+		return append(buf, id)
+	}
+	return append(buf, t.up(sn), t.down(dn))
+}
+
+// Link returns nic for the shared NIC links and intra for the dedicated
+// intra-node links.
+func (t *TwoLevel) Link(id int) Link {
+	if id < 2*t.nodes {
+		return t.nic
+	}
+	return t.intra
+}

@@ -52,6 +52,16 @@ func WithLayers(c int) Option { return func(o *Opts) { o.Layers = c } }
 // WithWorkers bounds local matmul parallelism inside each simulated rank.
 func WithWorkers(n int) Option { return func(o *Opts) { o.Workers = n } }
 
+// WithTopology runs the simulation on a concrete interconnect (built with
+// ParseTopology): every message is priced through its route and the
+// fabric's contention factors instead of the uniform α-β charge.
+func WithTopology(t Topology) Option { return func(o *Opts) { o.Topo = t } }
+
+// WithPlacement selects how grid ranks embed into the topology's endpoints;
+// the default is PlaceContiguous. Only meaningful together with
+// WithTopology.
+func WithPlacement(p Placement) Option { return func(o *Opts) { o.Place = p } }
+
 // WithTrace enables event tracing (returned in Result.Trace).
 func WithTrace() Option { return func(o *Opts) { o.Trace = true } }
 

@@ -41,6 +41,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matrix"
 	"repro/internal/model"
+	"repro/internal/topo"
 )
 
 // Dims is the shape of a multiplication: an N1×N2 matrix times an N2×N3
@@ -226,6 +227,63 @@ type Prediction = model.Prediction
 // conforming configurations.
 func PredictAlg1Time(d Dims, g Grid, cfg MachineConfig) Prediction {
 	return model.Alg1Time(d, g, cfg, collective.Auto)
+}
+
+// --- Interconnect topologies ---
+
+// Topology is a concrete interconnect fabric the simulated machine can run
+// on: flat (the paper's fully connected model, the default), two-level
+// shared-NIC clusters, k-ary tori, and fat or skinny trees. Build one with
+// ParseTopology and attach it to a run with WithTopology.
+type Topology = topo.Topology
+
+// Link is one cable's α-β cost, the base price a topology scales by route
+// length and contention.
+type Link = topo.Link
+
+// Placement is the policy embedding grid ranks into a fabric's endpoints.
+type Placement = topo.Policy
+
+// The placement policies.
+const (
+	// PlaceContiguous packs consecutive ranks onto the same node (the
+	// default).
+	PlaceContiguous = topo.Contiguous
+	// PlaceRoundRobin deals consecutive ranks across nodes.
+	PlaceRoundRobin = topo.RoundRobin
+)
+
+// ParseTopology builds the fabric described by spec — "flat",
+// "twolevel=<g>", "torus=<d1>x<d2>[x...]", "fattree=<radix>x<levels>", or
+// "tree=<radix>x<levels>" — with exactly p endpoints, each cable priced at
+// link. Unknown or ill-sized specs wrap ErrBadTopology.
+func ParseTopology(spec string, p int, link Link) (Topology, error) {
+	return topo.Parse(spec, p, link)
+}
+
+// TopologyKinds lists the recognized spec forms, for error messages and
+// interfaces.
+func TopologyKinds() []string { return topo.Kinds() }
+
+// TopoPrediction is a topology-aware prediction: the flat decomposition
+// plus the congestion slowdown the fabric imposes.
+type TopoPrediction = model.TopoPrediction
+
+// PredictAlg1TimeOnTopology prices Algorithm 1 on a concrete fabric: each
+// collective phase is charged at the worst contended route among its fiber
+// pairs. On the flat fabric it collapses exactly to PredictAlg1Time with
+// Slowdown 1; elsewhere Slowdown is the factor by which the paper's
+// dedicated-link constant degrades.
+func PredictAlg1TimeOnTopology(d Dims, g Grid, cfg MachineConfig, t Topology, place Placement) (TopoPrediction, error) {
+	pl, err := topo.Map(g, t, place)
+	if err != nil {
+		return TopoPrediction{}, err
+	}
+	net, err := topo.NewNetwork(t, pl)
+	if err != nil {
+		return TopoPrediction{}, err
+	}
+	return model.Alg1TimeTopo(d, g, cfg, collective.Auto, net)
 }
 
 // CARMA runs the Demmel et al. 2013 recursive algorithm (P must be a power
