@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race bench-engines paper
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/machine/... ./internal/collective/... \
+		./internal/experiments/... ./internal/obs/... ./internal/topo/... \
+		./internal/service/...
+
+# Record the goroutine-vs-event scheduler head-to-head matrix
+# (P = 1024, 4096, 65536) to BENCH_engine_scaling.json. Same cells as
+# `go test -bench EngineScaling`; see "Event engine" in DESIGN.md.
+bench-engines:
+	$(GO) run ./cmd/benchrec -out BENCH_engine_scaling.json
+
+paper:
+	$(GO) run ./cmd/paper

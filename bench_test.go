@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/algs"
+	"repro/internal/benchrec"
 	"repro/internal/caps"
 	"repro/internal/collective"
 	"repro/internal/core"
@@ -313,28 +314,10 @@ func BenchmarkLocalMatMul(b *testing.B) {
 }
 
 // worldScalingBody is the scheduler-stress SPMD body of the P-scaling
-// benchmarks: rounds of small-message ring shifts plus a power-of-two
-// butterfly exchange, so every rank repeatedly parks and wakes while many
-// peers send concurrently. Payloads are tiny on purpose — the benchmark
-// measures scheduling (lock contention, wakeups), not data movement.
+// benchmarks; it lives in internal/benchrec so cmd/benchrec records the
+// identical workload (see that package for the body's design notes).
 func worldScalingBody(p, rounds int) func(*machine.Rank) {
-	return func(r *machine.Rank) {
-		buf := r.GetBuffer(8)
-		for i := range buf {
-			buf[i] = float64(r.ID())
-		}
-		scratch := r.GetBuffer(8)
-		for round := 0; round < rounds; round++ {
-			next := (r.ID() + 1) % p
-			prev := (r.ID() + p - 1) % p
-			r.SendRecvInto(next, prev, round, buf, scratch)
-			if peer := r.ID() ^ (1 << (round % 10)); peer < p && peer != r.ID() {
-				r.SendRecvInto(peer, peer, rounds+round, buf, scratch)
-			}
-		}
-		r.PutBuffer(buf)
-		r.PutBuffer(scratch)
-	}
+	return benchrec.ScalingBody(p, rounds)
 }
 
 // BenchmarkWorldScaling measures simulator wall-clock against the processor
@@ -358,6 +341,26 @@ func BenchmarkWorldScaling(b *testing.B) {
 			}
 			b.ReportMetric(float64(2*rounds*p), "msgs/op")
 		})
+	}
+}
+
+// BenchmarkEngineScaling races the two machine backends on the identical
+// scheduler-stress workload at the processor counts where they diverge: the
+// goroutine engine keeps every rank runnable at once (P goroutines fighting
+// for the scheduler), while the event engine multiplexes parked tasks onto
+// a small worker pool with targeted handoffs. The recorded expectation is
+// the event engine at least matching at P=4096 and winning at P=65536.
+// cmd/benchrec runs the same cells via testing.Benchmark and writes
+// BENCH_engine_scaling.json, so `go test -bench EngineScaling` and the
+// tracked JSON always measure the same thing.
+func BenchmarkEngineScaling(b *testing.B) {
+	for _, engine := range []machine.Engine{machine.EngineGoroutine, machine.EngineEvent} {
+		for _, p := range []int{1024, 4096, 65536} {
+			engine, p := engine, p
+			b.Run(fmt.Sprintf("engine=%s/P=%d", engine, p), func(b *testing.B) {
+				benchrec.Bench(b, engine, p)
+			})
+		}
 	}
 }
 

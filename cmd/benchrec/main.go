@@ -1,0 +1,90 @@
+// Command benchrec records simulator performance as JSON so the perf
+// trajectory is tracked across PRs (ROADMAP item 4). Two modes:
+//
+//	benchrec [-out BENCH_engine_scaling.json] [-p 1024,4096,65536]
+//	    runs the engine-scaling matrix (goroutine and event engines at each
+//	    P) through testing.Benchmark and writes the JSON record.
+//
+//	benchrec -counting 1000000 [-engine event]
+//	    runs a single BandwidthOnly counting world of that many ranks and
+//	    prints wall time and totals — the CI smoke proving a million-rank
+//	    world fits and finishes.
+//
+// Exit status is 0 on success, 1 on any failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/benchrec"
+	"repro/internal/machine"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_engine_scaling.json", "output path for the scaling record")
+	plist := flag.String("p", "1024,4096,65536", "comma-separated processor counts for the scaling matrix")
+	counting := flag.Int("counting", 0, "run one BandwidthOnly counting world of this many ranks instead of the matrix")
+	engine := flag.String("engine", "event", "engine for -counting runs")
+	flag.Parse()
+
+	if err := run(*out, *plist, *counting, *engine); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, plist string, counting int, engineName string) error {
+	if counting > 0 {
+		eng, err := machine.ParseEngine(engineName)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("counting run: engine=%s P=%d\n", eng, counting)
+		wall, stats, err := benchrec.CountingRun(eng, counting)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("done in %v: %d messages, %.0f words, critical path %.0f\n",
+			wall, stats.TotalMessages, stats.TotalWordsSent, stats.CriticalPath)
+		return nil
+	}
+
+	ps, err := parsePs(plist)
+	if err != nil {
+		return err
+	}
+	rec := benchrec.RunEngineScaling(ps, func(engine string, p int) {
+		fmt.Printf("bench: engine=%s P=%d\n", engine, p)
+	})
+	for _, s := range rec.Samples {
+		fmt.Printf("  %-9s P=%-6d %12.0f ns/op %12.0f msgs/s\n", s.Engine, s.P, s.NsPerOp, s.MsgsPerSec)
+	}
+	if err := rec.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d samples)\n", out, len(rec.Samples))
+	return nil
+}
+
+func parsePs(plist string) ([]int, error) {
+	var ps []int
+	for _, f := range strings.Split(plist, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		p, err := strconv.Atoi(f)
+		if err != nil || p <= 0 {
+			return nil, fmt.Errorf("bad processor count %q", f)
+		}
+		ps = append(ps, p)
+	}
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("no processor counts in %q", plist)
+	}
+	return ps, nil
+}

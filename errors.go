@@ -42,4 +42,9 @@ var (
 	// malformed spec string, a fabric whose endpoint count does not match
 	// the run's processor count, or an unknown placement policy.
 	ErrBadTopology = core.ErrBadTopology
+
+	// ErrTooManyRanks marks a processor count beyond what the selected
+	// execution engine supports (the goroutine engine caps P at 2^21−1;
+	// the event engine, selected with WithEngine(EngineEvent), at 2^31−1).
+	ErrTooManyRanks = core.ErrTooManyRanks
 )

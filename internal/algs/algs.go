@@ -65,6 +65,11 @@ type Opts struct {
 	// Place selects how ranks are embedded onto Topo's endpoints; the zero
 	// value is contiguous. Ignored when Topo is nil.
 	Place topo.Policy
+	// Engine selects the machine's scheduling backend. The zero value is
+	// the goroutine engine; machine.EngineEvent multiplexes ranks onto a
+	// worker pool for cluster-scale P. Results are bit-identical either
+	// way (pinned by the golden-stats tests).
+	Engine machine.Engine
 }
 
 // Validate reports whether the options are self-consistent, before any
@@ -90,6 +95,11 @@ func (o Opts) Validate() error {
 	default:
 		return fmt.Errorf("algs: unknown placement policy %d: %w", int(o.Place), core.ErrBadTopology)
 	}
+	switch o.Engine {
+	case machine.EngineGoroutine, machine.EngineEvent:
+	default:
+		return fmt.Errorf("algs: unknown engine %d: %w", int(o.Engine), core.ErrBadOpts)
+	}
 	if o.Grid != (grid.Grid{}) {
 		return o.Grid.Validate()
 	}
@@ -101,7 +111,10 @@ func (o Opts) Validate() error {
 // endpoints and every send is priced through the resulting Network; a
 // topology whose endpoint count differs from p wraps core.ErrBadTopology.
 func newWorld(p int, opts Opts) (*machine.World, *machine.Trace, error) {
-	w := machine.NewWorld(p, opts.Config)
+	w, err := machine.New(p, opts.Config, machine.WithEngine(opts.Engine))
+	if err != nil {
+		return nil, nil, err
+	}
 	if opts.Topo != nil {
 		if opts.Topo.P() != p {
 			return nil, nil, fmt.Errorf("algs: topology %s has %d endpoints, run uses %d processors: %w",

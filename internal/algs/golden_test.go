@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/matrix"
+	"repro/internal/topo"
 )
 
 // The golden-stats test pins the simulator's observable accounting across
@@ -84,8 +85,12 @@ func toGolden(s machine.WorldStats) goldenWorldStats {
 
 // goldenSuite runs every registered algorithm on fixed inputs under two cost
 // models (bandwidth-only and a full α-β-γ), covering both collective
-// families through the power-of-two / non-power-of-two processor counts.
-func goldenSuite(t *testing.T) []goldenRun {
+// families through the power-of-two / non-power-of-two processor counts,
+// plus one topology-enabled case so contention charging is pinned too. The
+// engine parameter selects the scheduler; every engine must reproduce the
+// same suite bit-for-bit, which is what makes the event backend a drop-in
+// replacement for the goroutine reference.
+func goldenSuite(t *testing.T, engine machine.Engine) []goldenRun {
 	t.Helper()
 	n := 48
 	a := matrix.Random(n, n, 17)
@@ -103,9 +108,9 @@ func goldenSuite(t *testing.T) []goldenRun {
 		runs = append(runs, goldenRun{Name: name, Stats: toGolden(res.Stats)})
 	}
 	for _, e := range Registry() {
-		res, err := e.Run(a, b, 16, Opts{Config: machine.BandwidthOnly()})
+		res, err := e.Run(a, b, 16, Opts{Config: machine.BandwidthOnly(), Engine: engine})
 		add(fmt.Sprintf("%s/n=%d/p=16/bandwidth", e.Name, n), res, err)
-		res, err = e.Run(a, b, 16, Opts{Config: full})
+		res, err = e.Run(a, b, 16, Opts{Config: full, Engine: engine})
 		add(fmt.Sprintf("%s/n=%d/p=16/abg", e.Name, n), res, err)
 	}
 	// Non-power-of-two fibers exercise the ring collectives; a rectangular
@@ -114,15 +119,24 @@ func goldenSuite(t *testing.T) []goldenRun {
 		name string
 		run  Runner
 	}{{"Alg1", Alg1}, {"AllToAll3D", AllToAll3D}, {"OneD", OneD}} {
-		res, err := e.run(ra, rb, 12, Opts{Config: full})
+		res, err := e.run(ra, rb, 12, Opts{Config: full, Engine: engine})
 		add(fmt.Sprintf("%s/rect/p=12/abg", e.name), res, err)
 	}
+	// A congested tree topology pins the contention-aware charge arithmetic
+	// on top of the scheduler, so an engine rewrite cannot silently bypass
+	// the network oracle.
+	tree, err := topo.Parse("tree=2x4", 16, topo.Link{Alpha: full.Alpha, Beta: full.Beta})
+	if err != nil {
+		t.Fatalf("golden topology: %v", err)
+	}
+	res, err := Alg1(a, b, 16, Opts{Config: full, Topo: tree, Engine: engine})
+	add("Alg1/n=48/p=16/abg/tree=2x4", res, err)
 	return runs
 }
 
 func TestGoldenWorldStats(t *testing.T) {
 	path := filepath.Join("testdata", "golden_stats.json")
-	got := goldenSuite(t)
+	got := goldenSuite(t, machine.EngineGoroutine)
 
 	if *updateGolden {
 		blob, err := json.MarshalIndent(got, "", "\t")
@@ -138,6 +152,35 @@ func TestGoldenWorldStats(t *testing.T) {
 		t.Logf("rewrote %s with %d runs", path, len(got))
 		return
 	}
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	var want []goldenRun
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("decoding golden file: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d runs, golden file has %d", len(got), len(want))
+	}
+	for i := range got {
+		compareGoldenRun(t, got[i], want[i])
+	}
+}
+
+// TestGoldenWorldStatsEventEngine replays the identical pinned suite on the
+// event-driven backend and holds it to the same golden file. Stats are pure
+// functions of the deterministic communication pattern, so a correct
+// scheduler — any correct scheduler — must land on the same bits the
+// goroutine reference produced; the weakest acceptable claim ("close
+// enough") is deliberately not on offer.
+func TestGoldenWorldStatsEventEngine(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden file is regenerated from the goroutine reference engine")
+	}
+	path := filepath.Join("testdata", "golden_stats.json")
+	got := goldenSuite(t, machine.EngineEvent)
 
 	blob, err := os.ReadFile(path)
 	if err != nil {

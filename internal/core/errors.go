@@ -38,4 +38,10 @@ var (
 	// machine's rank count, an unknown placement policy, or a non-flat
 	// topology too large for per-pair charge tables.
 	ErrBadTopology = errors.New("invalid topology")
+
+	// ErrTooManyRanks marks a world size beyond what the selected execution
+	// engine supports: the goroutine engine's packed idle accounting caps P
+	// at machine.MaxRanks, and the event engine at 2^31−1. The HTTP service
+	// maps it to 400 so an oversize request is rejected, not a crash.
+	ErrTooManyRanks = errors.New("too many ranks")
 )

@@ -1,0 +1,115 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Engine selects the scheduling backend that executes a World's SPMD
+// bodies. The choice affects only wall-clock performance and capacity;
+// every simulated observable (WorldStats, traces, traffic matrices) is
+// bit-identical across engines because the simulator's results are pure
+// functions of the deterministic FIFO communication pattern.
+type Engine int
+
+const (
+	// EngineGoroutine runs one goroutine per rank — the default and the
+	// reference implementation. Best for small and medium worlds
+	// (P up to tens of thousands); capacity is capped at MaxRanks.
+	EngineGoroutine Engine = iota
+	// EngineEvent multiplexes ranks as cooperatively scheduled tasks over
+	// a small worker pool, suspending them at the blocking points. Use it
+	// for cluster-scale worlds: P=65536 full simulations interactively and
+	// P ≥ 10^6 for communication-counting runs.
+	EngineEvent
+)
+
+// MaxEventRanks is the largest world the event engine supports; task ids
+// are kept in 32-bit run queues.
+const MaxEventRanks = math.MaxInt32
+
+// String returns the engine's canonical name as accepted by ParseEngine.
+func (e Engine) String() string {
+	switch e {
+	case EngineGoroutine:
+		return "goroutine"
+	case EngineEvent:
+		return "event"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// validate rejects Engine values outside the defined set.
+func (e Engine) validate() error {
+	switch e {
+	case EngineGoroutine, EngineEvent:
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown engine %d", core.ErrBadOpts, int(e))
+	}
+}
+
+// maxRanks returns the largest world size the engine supports.
+func (e Engine) maxRanks() int {
+	if e == EngineEvent {
+		return MaxEventRanks
+	}
+	return MaxRanks
+}
+
+// ParseEngine resolves an engine name ("goroutine" or "event", the values
+// of Engine.String). The empty string selects the default goroutine
+// engine; an unknown name wraps core.ErrBadOpts.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "", EngineGoroutine.String():
+		return EngineGoroutine, nil
+	case EngineEvent.String():
+		return EngineEvent, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown engine %q (valid: %q, %q)",
+			core.ErrBadOpts, name, EngineGoroutine.String(), EngineEvent.String())
+	}
+}
+
+// EngineNames lists the engine names ParseEngine accepts, in definition
+// order, for flag usage strings and API documentation.
+func EngineNames() []string {
+	return []string{EngineGoroutine.String(), EngineEvent.String()}
+}
+
+// worldOptions collects the option values New applies.
+type worldOptions struct {
+	engine  Engine
+	workers int
+}
+
+// Option configures a World at construction (see New).
+type Option func(*worldOptions)
+
+// WithEngine selects the scheduling backend. The default is
+// EngineGoroutine.
+func WithEngine(e Engine) Option {
+	return func(o *worldOptions) { o.engine = e }
+}
+
+// WithEventWorkers sets the event engine's worker-pool size. Values below
+// one select the default (GOMAXPROCS). The goroutine engine ignores it.
+func WithEventWorkers(n int) Option {
+	return func(o *worldOptions) { o.workers = n }
+}
+
+// checkRankCount validates p against the engine's capacity.
+func checkRankCount(p int, e Engine) error {
+	if p <= 0 {
+		return fmt.Errorf("%w: world size %d", core.ErrBadProcessorCount, p)
+	}
+	if limit := e.maxRanks(); p > limit {
+		return fmt.Errorf("%w: world size %d exceeds the %s engine's limit of %d",
+			core.ErrTooManyRanks, p, e, limit)
+	}
+	return nil
+}

@@ -1,0 +1,337 @@
+package machine
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// eventWorld creates a world on the event engine, failing the test on
+// construction errors.
+func eventWorld(t *testing.T, p int, cfg Config, opts ...Option) *World {
+	t.Helper()
+	w, err := New(p, cfg, append([]Option{WithEngine(EngineEvent)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// runBothEngines runs the same body on a goroutine-engine world and an
+// event-engine world and returns the two stats, failing on any run error.
+// The body must be engine-agnostic (pure Rank API), which is the contract
+// the event engine exists to preserve.
+func runBothEngines(t *testing.T, p int, cfg Config, body func(*Rank)) (gor, evt WorldStats) {
+	t.Helper()
+	gw := NewWorld(p, cfg)
+	if err := gw.Run(body); err != nil {
+		t.Fatalf("goroutine engine: %v", err)
+	}
+	ew := eventWorld(t, p, cfg)
+	if err := ew.Run(body); err != nil {
+		t.Fatalf("event engine: %v", err)
+	}
+	return gw.Stats(), ew.Stats()
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want Engine
+	}{
+		{"", EngineGoroutine},
+		{"goroutine", EngineGoroutine},
+		{"event", EngineEvent},
+	} {
+		got, err := ParseEngine(tc.name)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v", tc.name, got, err, tc.want)
+		}
+	}
+	if _, err := ParseEngine("fibers"); !errors.Is(err, core.ErrBadOpts) {
+		t.Errorf("ParseEngine(fibers) err = %v, want ErrBadOpts", err)
+	}
+	if EngineGoroutine.String() != "goroutine" || EngineEvent.String() != "event" {
+		t.Errorf("engine names: %v %v", EngineGoroutine, EngineEvent)
+	}
+}
+
+func TestNewValidatesRankCount(t *testing.T) {
+	if _, err := New(0, BandwidthOnly()); !errors.Is(err, core.ErrBadProcessorCount) {
+		t.Errorf("New(0) err = %v, want ErrBadProcessorCount", err)
+	}
+	if _, err := New(MaxRanks+1, BandwidthOnly()); !errors.Is(err, core.ErrTooManyRanks) {
+		t.Errorf("New(MaxRanks+1) on goroutine engine err = %v, want ErrTooManyRanks", err)
+	}
+	// The event engine lifts the packed-state cap: a world one past the
+	// goroutine limit constructs fine (construction only — running it
+	// would be a multi-gigabyte simulation).
+	w, err := New(MaxRanks+1, BandwidthOnly(), WithEngine(EngineEvent))
+	if err != nil {
+		t.Fatalf("New(MaxRanks+1) on event engine: %v", err)
+	}
+	if w.P() != MaxRanks+1 || w.Engine() != EngineEvent {
+		t.Errorf("world: P=%d engine=%v", w.P(), w.Engine())
+	}
+	if _, err := New(MaxEventRanks+1, BandwidthOnly(), WithEngine(EngineEvent)); !errors.Is(err, core.ErrTooManyRanks) {
+		t.Errorf("New(MaxEventRanks+1) err = %v, want ErrTooManyRanks", err)
+	}
+	if _, err := New(4, BandwidthOnly(), WithEngine(Engine(99))); !errors.Is(err, core.ErrBadOpts) {
+		t.Errorf("New with bogus engine err = %v, want ErrBadOpts", err)
+	}
+}
+
+// TestEventEnginePingPong pins the event engine's clock arithmetic to the
+// same hand-computed values the goroutine-engine test uses.
+func TestEventEnginePingPong(t *testing.T) {
+	cfg := Config{Alpha: 10, Beta: 2, Gamma: 0}
+	w := eventWorld(t, 2, cfg)
+	err := w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 7, []float64{1, 2, 3}) // clock: 10 + 2*3 = 16
+			got := r.Recv(1, 8)              // arrives at 16+10+2 = 28
+			if len(got) != 1 || got[0] != 42 {
+				t.Errorf("reply = %v", got)
+			}
+		case 1:
+			msg := r.Recv(0, 7) // clock: max(0, 16) = 16
+			if len(msg) != 3 || msg[2] != 3 {
+				t.Errorf("msg = %v", msg)
+			}
+			r.Send(0, 8, []float64{42}) // clock: 16 + 10 + 2 = 28
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().CriticalPath; got != 28 {
+		t.Errorf("critical path = %v, want 28", got)
+	}
+}
+
+// TestEventEngineStatsBitIdentical runs a body exercising every Rank
+// operation — tagged sends consumed out of order, SendRecv exchanges,
+// phases, compute, memory accounting, barriers — on both engines and
+// requires the full WorldStats to match exactly.
+func TestEventEngineStatsBitIdentical(t *testing.T) {
+	const p = 12
+	body := func(r *Rank) {
+		me := r.ID()
+		next, prev := (me+1)%p, (me+p-1)%p
+		r.SetPhase("shift")
+		for step := 0; step < 4; step++ {
+			r.Send(next, step, make([]float64, 3+me%3))
+			r.Recv(prev, step)
+			r.Compute(float64(10 * (1 + me%2)))
+		}
+		r.Barrier()
+		r.SetPhase("exchange")
+		r.GrowMemory(float64(8 * (me + 1)))
+		got := r.SendRecv(next, prev, 90, make([]float64, 5))
+		r.PutBuffer(got)
+		r.ShrinkMemory(float64(8 * (me + 1)))
+		r.Barrier()
+		r.SetPhase("")
+		// Out-of-order tag consumption after the barrier.
+		r.Send(next, 201, []float64{1})
+		r.Send(next, 202, []float64{2, 2})
+		if w := r.Recv(prev, 202); len(w) != 2 {
+			t.Errorf("rank %d tag 202 len %d", me, len(w))
+		}
+		r.Recv(prev, 201)
+	}
+	gor, evt := runBothEngines(t, p, Config{Alpha: 2, Beta: 0.5, Gamma: 0.125}, body)
+	if !reflect.DeepEqual(gor, evt) {
+		t.Fatalf("WorldStats diverge between engines:\ngoroutine: %+v\nevent:     %+v", gor, evt)
+	}
+}
+
+// TestEventEngineFIFOAndTagMatching mirrors the goroutine-engine matching
+// tests: FIFO within a tag, arbitrary order across tags.
+func TestEventEngineFIFOAndTagMatching(t *testing.T) {
+	w := eventWorld(t, 2, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 1, []float64{10})
+			for i := 0; i < 5; i++ {
+				r.Send(1, 3, []float64{float64(i)})
+			}
+			r.Send(1, 2, []float64{20})
+		} else {
+			if got := r.Recv(0, 2); got[0] != 20 {
+				t.Errorf("tag 2 payload = %v", got)
+			}
+			for i := 0; i < 5; i++ {
+				if got := r.Recv(0, 3); got[0] != float64(i) {
+					t.Errorf("message %d = %v", i, got[0])
+				}
+			}
+			if got := r.Recv(0, 1); got[0] != 10 {
+				t.Errorf("tag 1 payload = %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventEngineDeadlockParity drives the deadlock suites on both engines
+// and requires identical diagnostics: same verdict from the shared message
+// formatter, reported by the same (lowest panicking) rank.
+func TestEventEngineDeadlockParity(t *testing.T) {
+	cases := []struct {
+		name string
+		p    int
+		body func(*Rank)
+	}{
+		{"all-recv", 3, func(r *Rank) { r.Recv((r.ID()+1)%3, 0) }},
+		{"recv-plus-barrier", 2, func(r *Rank) {
+			if r.ID() == 0 {
+				r.Recv(1, 0)
+			} else {
+				r.Barrier()
+			}
+		}},
+		{"barrier-early-exit", 4, func(r *Rank) {
+			if r.ID() == 0 {
+				return
+			}
+			r.Barrier()
+		}},
+		{"undeliverable-inflight", 2, func(r *Rank) {
+			if r.ID() == 0 {
+				r.Send(1, 5, []float64{1})
+				return
+			}
+			r.Recv(0, 6)
+		}},
+		{"mixed", 4, func(r *Rank) {
+			switch r.ID() {
+			case 0:
+				return
+			case 1:
+				r.Barrier()
+			default:
+				r.Recv(0, 9)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gw := NewWorld(tc.p, BandwidthOnly())
+			gerr := gw.Run(tc.body)
+			ew := eventWorld(t, tc.p, BandwidthOnly())
+			eerr := ew.Run(tc.body)
+			if gerr == nil || eerr == nil {
+				t.Fatalf("expected deadlock on both engines, got goroutine=%v event=%v", gerr, eerr)
+			}
+			if !strings.Contains(eerr.Error(), "deadlock") {
+				t.Fatalf("event engine error lacks deadlock verdict: %v", eerr)
+			}
+			if gerr.Error() != eerr.Error() {
+				t.Fatalf("deadlock diagnostics diverge:\ngoroutine: %v\nevent:     %v", gerr, eerr)
+			}
+		})
+	}
+}
+
+// TestEventEnginePanicPropagates mirrors the goroutine-engine test: a
+// panicking rank must fail the world and unblock parked peers.
+func TestEventEnginePanicPropagates(t *testing.T) {
+	w := eventWorld(t, 2, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			panic("boom")
+		}
+		r.Recv(0, 0) // would block forever without failure propagation
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("expected panic propagation, got %v", err)
+	}
+}
+
+// TestEventEngineWorkerPoolStress forces a multi-worker pool (the default
+// on a single-CPU host is one worker, which would serialize everything)
+// and floods it with cross-shard traffic, out-of-order tag consumption,
+// and repeated barriers. Run under -race in CI, this is the test that
+// exercises the scheduler's cross-worker handoffs: senders on one shard
+// requeueing receivers pinned to another, barrier releases batching tasks
+// onto all shards at once, and the parked-counter quiescence protocol.
+func TestEventEngineWorkerPoolStress(t *testing.T) {
+	const (
+		p      = 32
+		rounds = 6
+	)
+	for _, workers := range []int{2, 4, 7} {
+		w := eventWorld(t, p, BandwidthOnly(), WithEventWorkers(workers))
+		err := w.Run(func(r *Rank) {
+			me := r.ID()
+			for round := 0; round < rounds; round++ {
+				for d := 1; d <= 3; d++ {
+					r.Send((me+d)%p, round*10+d, []float64{float64(me)})
+				}
+				for d := 3; d >= 1; d-- { // reverse of send order
+					got := r.Recv((me+p-d)%p, round*10+d)
+					if got[0] != float64((me+p-d)%p) {
+						t.Errorf("rank %d round %d d %d: got %v", me, round, d, got[0])
+					}
+					r.PutBuffer(got)
+				}
+				r.Barrier()
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := w.Stats().TotalMessages; got != p*rounds*3 {
+			t.Errorf("workers=%d: total messages = %v, want %d", workers, got, p*rounds*3)
+		}
+	}
+}
+
+// TestEventEngineDeadlockUnderManyWorkers verifies quiescence detection
+// with a pool wider than one: the last parking worker must verify and
+// abort the world even when the blocked tasks span several shards.
+func TestEventEngineDeadlockUnderManyWorkers(t *testing.T) {
+	w := eventWorld(t, 16, BandwidthOnly(), WithEventWorkers(4))
+	err := w.Run(func(r *Rank) {
+		r.Recv((r.ID()+1)%16, 0) // nobody ever sends
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+// TestEventEngineLargeWorldCounting is the in-package scale smoke: a
+// BandwidthOnly ring-counting run at P far beyond what the goroutine
+// engine could schedule comfortably. CI drives the full P=10^6 version
+// through cmd/benchrec; this keeps a quarter-scale variant in `go test`.
+func TestEventEngineLargeWorldCounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-world smoke skipped in -short mode")
+	}
+	const p = 1 << 17 // 131072 ranks
+	w := eventWorld(t, p, BandwidthOnly())
+	err := w.Run(func(r *Rank) {
+		me := r.ID()
+		r.Send((me+1)%p, 0, []float64{float64(me)})
+		got := r.Recv((me+p-1)%p, 0)
+		r.PutBuffer(got)
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Stats()
+	if s.TotalMessages != p {
+		t.Errorf("total messages = %v, want %d", s.TotalMessages, p)
+	}
+	if s.TotalWordsSent != p {
+		t.Errorf("total words = %v, want %d", s.TotalWordsSent, p)
+	}
+}

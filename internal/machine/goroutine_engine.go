@@ -1,0 +1,390 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// goroutineEngine is the reference scheduling backend: one goroutine per
+// rank, blocking on condition variables at Recv and Barrier.
+//
+// It is built to scale to thousands of ranks. Message state is sharded
+// into one mailbox per receiver, each with its own lock and condition
+// variable, so a send touches only the destination's mailbox and wakes at
+// most the one rank that can consume the message — and only when that rank
+// is parked waiting for exactly the message's (source, tag). Global
+// progress accounting (ranks blocked in Recv, parked in Barrier, or
+// finished) lives in a single packed atomic word, mutated only while
+// holding the transitioning rank's mailbox (or the barrier) lock. Deadlock
+// detection is two-phase: a rank about to park performs one atomic add and
+// compares the packed sum against P (phase 1, O(1), almost always
+// negative); only on a hit does it freeze the world — detector mutex, then
+// every mailbox lock, then the barrier lock — and verify exactly (phase 2),
+// checking for pending wakeups (a parked receiver with a matching queued
+// message, or barrier waiters whose generation has already been released)
+// before declaring the simulation stuck. Phase 2 is exact: it can neither
+// fire on a live simulation nor miss a genuine deadlock, because the last
+// rank to park or finish always runs the check after its own transition.
+type goroutineEngine struct {
+	w *World
+
+	// boxes[i] is rank i's mailbox; all message state is sharded here.
+	boxes []mailbox
+
+	// state is the packed (recvBlocked, barParked, done) word. Mutations
+	// happen only while holding the transitioning rank's mailbox lock (or
+	// the barrier lock), which is what lets the deadlock verifier freeze
+	// the counters by holding every lock.
+	state atomic.Uint64
+
+	// failed flips once, after failMsg is set; parked ranks observe it and
+	// abort. detMu serializes deadlock verification and failure injection.
+	failed  atomic.Bool
+	failMsg string
+	detMu   sync.Mutex
+
+	// bar is the generation-counted reusable barrier. departing counts
+	// waiters of a released generation that have not yet left — evidence
+	// of pending wakeups for the deadlock verifier.
+	bar struct {
+		mu        sync.Mutex
+		cond      sync.Cond
+		arrived   int
+		departing int
+		gen       int
+		clock     float64
+		release   float64
+	}
+}
+
+// mailbox is one receiver's share of the network state: its message store,
+// its own lock and condition variable, and the description of the Recv it
+// is currently parked in, if any. Only the owning rank ever waits on cond,
+// so a Signal wakes exactly the rank that can make progress. The trailing
+// padding keeps neighboring mailboxes off one cache line.
+type mailbox struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	msgStore
+	// waiting/wantSrc/wantTag describe the owner's parked Recv: senders
+	// use them to decide whether to Signal, and the deadlock verifier uses
+	// them to recognize a pending wakeup (a queued matching message).
+	waiting bool
+	wantSrc int
+	wantTag int
+
+	_ [40]byte // padding against false sharing between adjacent ranks
+}
+
+// Scheduler state is one packed atomic word holding three counters — ranks
+// blocked in Recv, ranks parked in Barrier, ranks finished — so a single
+// load (or the value returned by a single Add) yields a consistent
+// snapshot. Each counter gets stateBits bits, bounding P at 2^21-1 ranks.
+const (
+	stateBits = 21
+	stateMask = 1<<stateBits - 1
+	recvUnit  = uint64(1)
+	barUnit   = uint64(1) << stateBits
+	doneUnit  = uint64(1) << (2 * stateBits)
+	// MaxRanks is the largest world the goroutine engine's packed
+	// scheduler state supports. The event engine (EngineEvent) has no such
+	// bound; see MaxEventRanks.
+	MaxRanks = stateMask
+)
+
+// unpackState splits the packed scheduler word.
+func unpackState(s uint64) (recvBlocked, barParked, done int) {
+	return int(s & stateMask), int((s >> stateBits) & stateMask), int(s >> (2 * stateBits) & stateMask)
+}
+
+// stateSum returns the total number of ranks accounted idle (blocked,
+// parked, or finished) in the packed word.
+func stateSum(s uint64) int {
+	r, b, d := unpackState(s)
+	return r + b + d
+}
+
+// neg returns the two's-complement delta that subtracts unit from the
+// packed word via atomic Add.
+func neg(unit uint64) uint64 { return ^unit + 1 }
+
+// newGoroutineEngine builds the backend for w.
+func newGoroutineEngine(w *World) *goroutineEngine {
+	e := &goroutineEngine{w: w, boxes: make([]mailbox, w.p)}
+	for i := range e.boxes {
+		e.boxes[i].cond.L = &e.boxes[i].mu
+	}
+	e.bar.cond.L = &e.bar.mu
+	return e
+}
+
+// run executes body on every rank, one goroutine each, and blocks until
+// all return.
+func (e *goroutineEngine) run(body func(*Rank)) error {
+	var wg sync.WaitGroup
+	errs := make([]error, e.w.p)
+	for i := 0; i < e.w.p; i++ {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[r.id] = fmt.Errorf("rank %d: %v", r.id, rec)
+					e.fail(fmt.Sprintf("rank %d panicked: %v", r.id, rec))
+					return
+				}
+				// Close any phase span left open by the body, then fold
+				// completion into the deadlock check: a rank that returns
+				// while peers still wait for its messages leaves them stuck.
+				r.endPhase()
+				e.finishRank(r.id)
+			}()
+			body(r)
+		}(&e.w.ranks[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishRank records a rank's normal completion and runs the deadlock
+// check: completion is a transition into the idle set, so it can be the
+// step that strands the remaining ranks.
+func (e *goroutineEngine) finishRank(id int) {
+	mb := &e.boxes[id]
+	mb.mu.Lock()
+	s := e.state.Add(doneUnit)
+	mb.mu.Unlock()
+	if stateSum(s) == e.w.p {
+		e.verifyStalled()
+	}
+}
+
+// fail marks the world failed and wakes all parked ranks so they can abort
+// instead of waiting forever for messages that will never arrive. Taking
+// each mailbox lock before broadcasting orders the wakeup after any
+// receiver's park-or-proceed decision, so no rank sleeps through it.
+func (e *goroutineEngine) fail(msg string) {
+	e.detMu.Lock()
+	if !e.failed.Load() {
+		e.failMsg = msg
+		e.failed.Store(true)
+	}
+	e.detMu.Unlock()
+	e.wakeAll()
+}
+
+// wakeAll broadcasts on every mailbox and the barrier so parked ranks
+// re-check the failure flag.
+func (e *goroutineEngine) wakeAll() {
+	for i := range e.boxes {
+		mb := &e.boxes[i]
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	e.bar.mu.Lock()
+	e.bar.cond.Broadcast()
+	e.bar.mu.Unlock()
+}
+
+// abort panics with the recorded failure message.
+func (e *goroutineEngine) abort() {
+	panic("machine: aborted: " + e.failMsg)
+}
+
+// send enqueues a message (eager, non-blocking delivery), signalling the
+// receiver only if it is parked waiting for exactly this (src, tag). The
+// sender uncounts the matched receiver on its behalf, under the mailbox
+// lock, so a rank with a delivered-but-unconsumed wakeup is classified as
+// running, not blocked: the phase-1 stall check (sum == P) then only fires
+// when no rank has a pending wakeup, instead of on every transient
+// everyone-parked scheduling state.
+func (e *goroutineEngine) send(m *message) {
+	mb := &e.boxes[m.dst]
+	mb.mu.Lock()
+	mb.enqueue(m)
+	wake := mb.waiting && mb.wantSrc == m.src && mb.wantTag == m.tag
+	if wake {
+		mb.waiting = false
+		e.state.Add(neg(recvUnit))
+	}
+	mb.mu.Unlock()
+	if wake {
+		mb.cond.Signal()
+	}
+}
+
+// recv blocks until a message from src to dst with the given tag is
+// available and returns it, preserving FIFO order among same-tag messages.
+func (e *goroutineEngine) recv(dst, src, tag int) *message {
+	mb := &e.boxes[dst]
+	mb.mu.Lock()
+	if e.failed.Load() {
+		mb.mu.Unlock()
+		e.abort()
+	}
+	if m := mb.take(src, tag); m != nil {
+		mb.mu.Unlock()
+		return m
+	}
+	// Park: advertise what we wait for, count ourselves blocked, and run
+	// the phase-1 deadlock check on the packed sum returned by our own
+	// increment — parking may be the transition that strands the world,
+	// and the last rank to go idle always observes sum == P and verifies.
+	// The matching sender uncounts us and clears waiting when it delivers,
+	// so we stay counted — and verify at most once — exactly as long as we
+	// are genuinely blocked.
+	mb.waiting, mb.wantSrc, mb.wantTag = true, src, tag
+	if s := e.state.Add(recvUnit); stateSum(s) == e.w.p {
+		// Possible global stall. Verification takes every mailbox lock,
+		// so drop ours first; we stay counted and marked waiting — the
+		// verifier treats us exactly like a parked rank — then re-scan,
+		// since a message may have landed during verification.
+		mb.mu.Unlock()
+		e.verifyStalled()
+		mb.mu.Lock()
+	}
+	for {
+		if e.failed.Load() {
+			if mb.waiting {
+				mb.waiting = false
+				e.state.Add(neg(recvUnit))
+			}
+			mb.mu.Unlock()
+			e.abort()
+		}
+		if !mb.waiting {
+			// A sender matched our advertised (src, tag): it uncounted us
+			// and left the message at the head of its FIFO queue.
+			m := mb.take(src, tag)
+			if m == nil {
+				panic("machine: woken without a matching message")
+			}
+			mb.mu.Unlock()
+			return m
+		}
+		mb.cond.Wait()
+	}
+}
+
+// barrier synchronizes all ranks of the world and aligns their clocks to
+// the maximum.
+func (e *goroutineEngine) barrier(r *Rank) {
+	b := &e.bar
+	b.mu.Lock()
+	if e.failed.Load() {
+		b.mu.Unlock()
+		e.abort()
+	}
+	if r.clock > b.clock {
+		b.clock = r.clock
+	}
+	if b.arrived == e.w.p-1 {
+		// Last arrival releases the generation: publish the max clock,
+		// uncount the waiters in one step (a released waiter has a pending
+		// wakeup, so it counts as running, not parked), mark them as
+		// departing, and reset for the next generation.
+		b.release = b.clock
+		b.clock = 0
+		b.departing += b.arrived
+		e.state.Add(neg(uint64(b.arrived) * barUnit))
+		b.arrived = 0
+		b.gen++
+		r.clock = b.release
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	b.arrived++
+	gen := b.gen
+	// Park: count ourselves and run the phase-1 deadlock check — arriving
+	// at a barrier some ranks can never reach (blocked Recv, early exit)
+	// may be the transition that strands the world. The releasing rank
+	// uncounts us, so we stay counted exactly while the generation is
+	// still pending.
+	if s := e.state.Add(barUnit); stateSum(s) == e.w.p {
+		b.mu.Unlock()
+		e.verifyStalled()
+		b.mu.Lock()
+	}
+	for b.gen == gen && !e.failed.Load() {
+		b.cond.Wait()
+	}
+	if b.gen == gen {
+		// Not released: the world failed while we waited, and we are
+		// still counted (only a release uncounts waiters).
+		e.state.Add(neg(barUnit))
+		b.mu.Unlock()
+		e.abort()
+	}
+	b.departing--
+	r.clock = b.release
+	b.mu.Unlock()
+}
+
+// verifyStalled is phase 2 of deadlock detection: freeze all scheduler
+// state by holding the detector mutex, every mailbox lock, and the barrier
+// lock, then decide exactly whether the simulation can ever make progress.
+// With the locks held no rank can park, unpark, finish, send, or consume,
+// so the packed counters and queue contents form a consistent snapshot. A
+// rank counted idle but due to wake leaves evidence the verifier checks: a
+// parked receiver with a matching queued message (its sender signalled it),
+// or barrier waiters whose generation was already released (departing > 0).
+func (e *goroutineEngine) verifyStalled() {
+	e.detMu.Lock()
+	defer e.detMu.Unlock()
+	if e.failed.Load() {
+		return
+	}
+	for i := range e.boxes {
+		e.boxes[i].mu.Lock()
+	}
+	e.bar.mu.Lock()
+	defer func() {
+		e.bar.mu.Unlock()
+		for i := range e.boxes {
+			e.boxes[i].mu.Unlock()
+		}
+	}()
+
+	recvBlocked, barParked, done := unpackState(e.state.Load())
+	if recvBlocked+barParked+done != e.w.p {
+		return // raced with a wakeup: somebody is running again
+	}
+	if done == e.w.p || e.bar.departing > 0 {
+		return // normal termination, or barrier waiters on their way out
+	}
+	inflight := 0
+	for i := range e.boxes {
+		mb := &e.boxes[i]
+		inflight += mb.inflight
+		if mb.waiting && mb.peek(mb.wantSrc, mb.wantTag) {
+			return // pending wakeup: a matching message is queued
+		}
+	}
+
+	// Verified: every rank is blocked, parked, or finished, no blocked
+	// Recv can be satisfied, and (with finished ranks) no Barrier can
+	// complete. Nothing will ever run again — abort the world.
+	msg := deadlockMessage(recvBlocked, barParked, done, inflight)
+	if msg == "" {
+		return // all-Barrier with no finisher resolves via the barrier itself
+	}
+	if obs.Enabled() {
+		mDeadlocks.Inc()
+	}
+	e.failMsg = msg
+	e.failed.Store(true)
+	for i := range e.boxes {
+		e.boxes[i].cond.Broadcast()
+	}
+	e.bar.cond.Broadcast()
+}

@@ -2,14 +2,13 @@
 // of the paper's §3.1 (the α-β-γ model) as a deterministic simulator.
 //
 // A World holds P ranks (processors), each with its own local memory and a
-// simulated clock. Ranks run as goroutines executing the same SPMD body.
-// Point-to-point messages over the fully connected network cost
-// α + β·w for a message of w words, charged to the sender (link occupancy)
-// and realized at the receiver no earlier than the send completes; local
-// computation costs γ per flop. Because each pair of processors has a
-// dedicated bidirectional link, there is no contention: simultaneous
-// messages between different pairs overlap freely, which the per-rank
-// clocks model naturally.
+// simulated clock. Ranks execute the same SPMD body. Point-to-point
+// messages over the fully connected network cost α + β·w for a message of
+// w words, charged to the sender (link occupancy) and realized at the
+// receiver no earlier than the send completes; local computation costs γ
+// per flop. Because each pair of processors has a dedicated bidirectional
+// link, there is no contention: simultaneous messages between different
+// pairs overlap freely, which the per-rank clocks model naturally.
 //
 // The communication cost of an algorithm is counted along its critical
 // path — the maximum final clock over ranks — exactly the quantity the
@@ -20,33 +19,38 @@
 //
 // The simulator is deterministic: matching is FIFO per (source,
 // destination, tag), clocks are pure functions of the communication
-// pattern, and no wall-clock time leaks into results.
+// pattern, and no wall-clock time leaks into results. Every observable
+// statistic is therefore independent of how rank execution is scheduled,
+// which is what lets the two execution engines below produce bit-identical
+// WorldStats.
 //
-// # Execution engine
+// # Execution engines
 //
-// The engine is built to scale to thousands of ranks. Message state is
-// sharded into one mailbox per receiver, each with its own lock and
-// condition variable, so a send touches only the destination's mailbox and
-// wakes at most the one rank that can consume the message — and only when
-// that rank is parked waiting for exactly the message's (source, tag).
-// Global progress accounting (ranks blocked in Recv, parked in Barrier, or
-// finished) lives in a single packed atomic word, mutated only while
-// holding the transitioning rank's mailbox (or the barrier) lock. Deadlock
-// detection is two-phase: a rank about to park performs one atomic add and
-// compares the packed sum against P (phase 1, O(1), almost always
-// negative); only on a hit does it freeze the world — detector mutex, then
-// every mailbox lock, then the barrier lock — and verify exactly (phase 2),
-// checking for pending wakeups (a parked receiver with a matching queued
-// message, or barrier waiters whose generation has already been released)
-// before declaring the simulation stuck. Phase 2 is exact: it can neither
-// fire on a live simulation nor miss a genuine deadlock, because the last
-// rank to park or finish always runs the check after its own transition.
+// Two engines run the SPMD bodies (select with WithEngine):
+//
+//   - EngineGoroutine (the default and reference): one goroutine per rank,
+//     per-receiver sharded mailboxes with targeted wakeups, and packed-
+//     atomic idle accounting with exact two-phase deadlock detection. See
+//     goroutine_engine.go. Scale is bounded by MaxRanks (the packed
+//     accounting) and, in practice, by Go scheduler pressure well below it.
+//
+//   - EngineEvent: ranks run as cooperatively scheduled tasks multiplexed
+//     onto a small worker pool, suspending at the blocking points (Recv,
+//     Barrier) and resuming when the event that unblocks them (a matching
+//     message, a barrier release) is delivered. The Go scheduler never
+//     sees more than a handful of runnable goroutines, there are no
+//     per-rank condition variables or broadcast storms, and deadlock
+//     detection is an exact, nearly free check when the worker pool goes
+//     idle. This is the engine for cluster-scale worlds (P ≥ 10^6 for
+//     communication counting). See event_engine.go.
+//
+// The SPMD body API (Rank) is identical on both engines, and WorldStats
+// are bit-identical across them — pinned by the golden-stats test in
+// internal/algs over the full algorithm registry.
 package machine
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -69,8 +73,8 @@ func BandwidthOnly() Config { return Config{Alpha: 0, Beta: 1, Gamma: 0} }
 // Network prices messages per (source, destination) pair, replacing the
 // uniform α/β of Config for worlds simulating a non-flat interconnect (see
 // internal/topo). Charge must be deterministic, allocation-free, and safe
-// for concurrent calls: every rank goroutine consults it on every send, and
-// the simulator's results must not depend on goroutine scheduling. The cost
+// for concurrent calls: every rank consults it on every send, and the
+// simulator's results must not depend on execution scheduling. The cost
 // of one message of w words from src to dst is alpha + beta·w, charged to
 // the sender exactly like the uniform model.
 type Network interface {
@@ -96,40 +100,28 @@ type msgQueue struct {
 	head, tail *message
 }
 
-// mailbox is one receiver's share of the network state: the queues of
-// messages addressed to it (keyed by source), its own lock and condition
-// variable, and the description of the Recv it is currently parked in, if
-// any. Only the owning rank ever waits on cond, so a Signal wakes exactly
-// the rank that can make progress. The trailing padding keeps neighboring
-// mailboxes off one cache line.
-type mailbox struct {
-	mu   sync.Mutex
-	cond sync.Cond
+// msgStore holds one receiver's undelivered messages, keyed by source, with
+// the in-flight count the deadlock verifiers report. It carries no lock of
+// its own: the goroutine engine guards each store with its mailbox mutex,
+// the event engine with the receiver's shard mutex.
+type msgStore struct {
 	// queues holds the undelivered messages per source rank, created
 	// lazily so worlds whose pairs never communicate pay nothing.
 	queues map[int]*msgQueue
-	// inflight counts undelivered messages queued here (under mu); the
-	// deadlock verifier sums it across mailboxes for diagnostics.
+	// inflight counts undelivered messages queued here; the deadlock
+	// verifiers sum it across receivers for diagnostics.
 	inflight int
-	// waiting/wantSrc/wantTag describe the owner's parked Recv: senders
-	// use them to decide whether to Signal, and the deadlock verifier uses
-	// them to recognize a pending wakeup (a queued matching message).
-	waiting bool
-	wantSrc int
-	wantTag int
-
-	_ [40]byte // padding against false sharing between adjacent ranks
 }
 
-// enqueue appends m to the queue for its source (under mb.mu).
-func (mb *mailbox) enqueue(m *message) {
-	q := mb.queues[m.src]
+// enqueue appends m to the queue for its source.
+func (s *msgStore) enqueue(m *message) {
+	q := s.queues[m.src]
 	if q == nil {
-		if mb.queues == nil {
-			mb.queues = make(map[int]*msgQueue, 4)
+		if s.queues == nil {
+			s.queues = make(map[int]*msgQueue, 4)
 		}
 		q = &msgQueue{}
-		mb.queues[m.src] = q
+		s.queues[m.src] = q
 	}
 	if q.tail == nil {
 		q.head, q.tail = m, m
@@ -137,14 +129,14 @@ func (mb *mailbox) enqueue(m *message) {
 		q.tail.next = m
 		q.tail = m
 	}
-	mb.inflight++
+	s.inflight++
 }
 
 // take removes and returns the oldest message from src with the given tag,
-// or nil (under mb.mu). Skipping non-matching tags preserves FIFO order
-// among same-tag messages, the simulator's matching guarantee.
-func (mb *mailbox) take(src, tag int) *message {
-	q := mb.queues[src]
+// or nil. Skipping non-matching tags preserves FIFO order among same-tag
+// messages, the simulator's matching guarantee.
+func (s *msgStore) take(src, tag int) *message {
+	q := s.queues[src]
 	if q == nil {
 		return nil
 	}
@@ -162,16 +154,15 @@ func (mb *mailbox) take(src, tag int) *message {
 			q.tail = prev
 		}
 		m.next = nil
-		mb.inflight--
+		s.inflight--
 		return m
 	}
 	return nil
 }
 
-// peek reports whether a message from src with the given tag is queued
-// (under mb.mu).
-func (mb *mailbox) peek(src, tag int) bool {
-	q := mb.queues[src]
+// peek reports whether a message from src with the given tag is queued.
+func (s *msgStore) peek(src, tag int) bool {
+	q := s.queues[src]
 	if q == nil {
 		return false
 	}
@@ -183,68 +174,30 @@ func (mb *mailbox) peek(src, tag int) bool {
 	return false
 }
 
-// Scheduler state is one packed atomic word holding three counters — ranks
-// blocked in Recv, ranks parked in Barrier, ranks finished — so a single
-// load (or the value returned by a single Add) yields a consistent
-// snapshot. Each counter gets stateBits bits, bounding P at 2^21-1 ranks.
-const (
-	stateBits = 21
-	stateMask = 1<<stateBits - 1
-	recvUnit  = uint64(1)
-	barUnit   = uint64(1) << stateBits
-	doneUnit  = uint64(1) << (2 * stateBits)
-	// MaxRanks is the largest world the packed scheduler state supports.
-	MaxRanks = stateMask
-)
-
-// unpackState splits the packed scheduler word.
-func unpackState(s uint64) (recvBlocked, barParked, done int) {
-	return int(s & stateMask), int((s >> stateBits) & stateMask), int(s >> (2 * stateBits) & stateMask)
+// engineCore is the scheduling backend of a World: it executes the SPMD
+// bodies and implements the blocking points. Rank's bookkeeping (clocks,
+// stats, tracing) is engine-independent and lives in rank.go; everything
+// behind these four calls is engine-private.
+type engineCore interface {
+	// run executes body on every rank and blocks until all return; it
+	// reports the first (lowest-rank) panic, including detected deadlocks.
+	run(body func(*Rank)) error
+	// send delivers m eagerly (never blocks the caller).
+	send(m *message)
+	// recv blocks rank dst until a message from src with tag is available.
+	recv(dst, src, tag int) *message
+	// barrier parks r until all P ranks arrive, aligning clocks to the max.
+	barrier(r *Rank)
 }
-
-// stateSum returns the total number of ranks accounted idle (blocked,
-// parked, or finished) in the packed word.
-func stateSum(s uint64) int {
-	r, b, d := unpackState(s)
-	return r + b + d
-}
-
-// neg returns the two's-complement delta that subtracts unit from the
-// packed word via atomic Add.
-func neg(unit uint64) uint64 { return ^unit + 1 }
 
 // World is a simulated machine of P ranks.
 type World struct {
-	p   int
-	cfg Config
+	p      int
+	cfg    Config
+	engine Engine
 
-	// boxes[i] is rank i's mailbox; all message state is sharded here.
-	boxes []mailbox
-
-	// state is the packed (recvBlocked, barParked, done) word. Mutations
-	// happen only while holding the transitioning rank's mailbox lock (or
-	// the barrier lock), which is what lets the deadlock verifier freeze
-	// the counters by holding every lock.
-	state atomic.Uint64
-
-	// failed flips once, after failMsg is set; parked ranks observe it and
-	// abort. detMu serializes deadlock verification and failure injection.
-	failed  atomic.Bool
-	failMsg string
-	detMu   sync.Mutex
-
-	// bar is the generation-counted reusable barrier. departing counts
-	// waiters of a released generation that have not yet left — evidence
-	// of pending wakeups for the deadlock verifier.
-	bar struct {
-		mu        sync.Mutex
-		cond      sync.Cond
-		arrived   int
-		departing int
-		gen       int
-		clock     float64
-		release   float64
-	}
+	// eng is the scheduling backend selected by WithEngine.
+	eng engineCore
 
 	trace   *Trace
 	traffic *TrafficMatrix
@@ -257,28 +210,48 @@ type World struct {
 	ranks []Rank
 }
 
-// NewWorld creates a machine with p ranks and the given cost model.
-func NewWorld(p int, cfg Config) *World {
-	if p <= 0 || p > MaxRanks {
-		panic(fmt.Sprintf("machine: world size %d (supported: 1..%d)", p, MaxRanks))
+// New creates a machine with p ranks, the given cost model, and any engine
+// options, reporting invalid configurations as typed errors: a non-positive
+// p wraps core.ErrBadProcessorCount, and a p beyond the selected engine's
+// capacity (MaxRanks for the goroutine engine) wraps core.ErrTooManyRanks.
+func New(p int, cfg Config, opts ...Option) (*World, error) {
+	w := &World{p: p, cfg: cfg}
+	var wopts worldOptions
+	for _, o := range opts {
+		o(&wopts)
 	}
-	w := &World{
-		p:     p,
-		cfg:   cfg,
-		boxes: make([]mailbox, p),
+	w.engine = wopts.engine
+	if err := w.engine.validate(); err != nil {
+		return nil, err
 	}
-	for i := range w.boxes {
-		w.boxes[i].cond.L = &w.boxes[i].mu
+	if err := checkRankCount(p, w.engine); err != nil {
+		return nil, err
 	}
-	w.bar.cond.L = &w.bar.mu
 	// Ranks are allocated in one block; per-phase stat maps are created
 	// lazily on first use (see Rank.addPhase).
 	w.ranks = make([]Rank, p)
 	for i := range w.ranks {
 		w.ranks[i] = Rank{id: i, world: w}
 	}
+	switch w.engine {
+	case EngineEvent:
+		w.eng = newEventEngine(w, wopts.workers)
+	default:
+		w.eng = newGoroutineEngine(w)
+	}
 	if obs.Enabled() {
 		mWorlds.Inc()
+	}
+	return w, nil
+}
+
+// NewWorld creates a machine with p ranks and the given cost model on the
+// default (goroutine) engine, panicking on invalid sizes. Prefer New in
+// paths that must report capacity limits as errors instead of crashing.
+func NewWorld(p int, cfg Config) *World {
+	w, err := New(p, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("machine: world size %d (supported: 1..%d)", p, MaxRanks))
 	}
 	return w
 }
@@ -293,227 +266,14 @@ func (w *World) P() int { return w.p }
 // Config returns the cost model.
 func (w *World) Config() Config { return w.cfg }
 
+// Engine returns the execution engine the world runs on.
+func (w *World) Engine() Engine { return w.engine }
+
 // Run executes body on every rank concurrently and blocks until all ranks
 // return. It returns an error if any rank panicked (including simulator-
 // detected deadlocks). A World can be Run only once; create a fresh World
 // per experiment.
-func (w *World) Run(body func(*Rank)) (err error) {
-	var wg sync.WaitGroup
-	errs := make([]error, w.p)
-	for i := 0; i < w.p; i++ {
-		wg.Add(1)
-		go func(r *Rank) {
-			defer wg.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					errs[r.id] = fmt.Errorf("rank %d: %v", r.id, rec)
-					w.fail(fmt.Sprintf("rank %d panicked: %v", r.id, rec))
-					return
-				}
-				// Close any phase span left open by the body, then fold
-				// completion into the deadlock check: a rank that returns
-				// while peers still wait for its messages leaves them stuck.
-				r.endPhase()
-				w.finishRank(r.id)
-			}()
-			body(r)
-		}(&w.ranks[i])
-	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return e
-		}
-	}
-	return nil
-}
-
-// finishRank records a rank's normal completion and runs the deadlock
-// check: completion is a transition into the idle set, so it can be the
-// step that strands the remaining ranks.
-func (w *World) finishRank(id int) {
-	mb := &w.boxes[id]
-	mb.mu.Lock()
-	s := w.state.Add(doneUnit)
-	mb.mu.Unlock()
-	if stateSum(s) == w.p {
-		w.verifyStalled()
-	}
-}
-
-// fail marks the world failed and wakes all parked ranks so they can abort
-// instead of waiting forever for messages that will never arrive. Taking
-// each mailbox lock before broadcasting orders the wakeup after any
-// receiver's park-or-proceed decision, so no rank sleeps through it.
-func (w *World) fail(msg string) {
-	w.detMu.Lock()
-	if !w.failed.Load() {
-		w.failMsg = msg
-		w.failed.Store(true)
-	}
-	w.detMu.Unlock()
-	w.wakeAll()
-}
-
-// wakeAll broadcasts on every mailbox and the barrier so parked ranks
-// re-check the failure flag.
-func (w *World) wakeAll() {
-	for i := range w.boxes {
-		mb := &w.boxes[i]
-		mb.mu.Lock()
-		mb.cond.Broadcast()
-		mb.mu.Unlock()
-	}
-	w.bar.mu.Lock()
-	w.bar.cond.Broadcast()
-	w.bar.mu.Unlock()
-}
-
-// abort panics with the recorded failure message.
-func (w *World) abort() {
-	panic("machine: aborted: " + w.failMsg)
-}
-
-// send enqueues a message (eager, non-blocking delivery), signalling the
-// receiver only if it is parked waiting for exactly this (src, tag). The
-// sender uncounts the matched receiver on its behalf, under the mailbox
-// lock, so a rank with a delivered-but-unconsumed wakeup is classified as
-// running, not blocked: the phase-1 stall check (sum == P) then only fires
-// when no rank has a pending wakeup, instead of on every transient
-// everyone-parked scheduling state.
-func (w *World) send(m *message) {
-	mb := &w.boxes[m.dst]
-	mb.mu.Lock()
-	mb.enqueue(m)
-	wake := mb.waiting && mb.wantSrc == m.src && mb.wantTag == m.tag
-	if wake {
-		mb.waiting = false
-		w.state.Add(neg(recvUnit))
-	}
-	mb.mu.Unlock()
-	if wake {
-		mb.cond.Signal()
-	}
-}
-
-// recv blocks until a message from src to dst with the given tag is
-// available and returns it, preserving FIFO order among same-tag messages.
-func (w *World) recv(dst, src, tag int) *message {
-	mb := &w.boxes[dst]
-	mb.mu.Lock()
-	if w.failed.Load() {
-		mb.mu.Unlock()
-		w.abort()
-	}
-	if m := mb.take(src, tag); m != nil {
-		mb.mu.Unlock()
-		return m
-	}
-	// Park: advertise what we wait for, count ourselves blocked, and run
-	// the phase-1 deadlock check on the packed sum returned by our own
-	// increment — parking may be the transition that strands the world,
-	// and the last rank to go idle always observes sum == P and verifies.
-	// The matching sender uncounts us and clears waiting when it delivers,
-	// so we stay counted — and verify at most once — exactly as long as we
-	// are genuinely blocked.
-	mb.waiting, mb.wantSrc, mb.wantTag = true, src, tag
-	if s := w.state.Add(recvUnit); stateSum(s) == w.p {
-		// Possible global stall. Verification takes every mailbox lock,
-		// so drop ours first; we stay counted and marked waiting — the
-		// verifier treats us exactly like a parked rank — then re-scan,
-		// since a message may have landed during verification.
-		mb.mu.Unlock()
-		w.verifyStalled()
-		mb.mu.Lock()
-	}
-	for {
-		if w.failed.Load() {
-			if mb.waiting {
-				mb.waiting = false
-				w.state.Add(neg(recvUnit))
-			}
-			mb.mu.Unlock()
-			w.abort()
-		}
-		if !mb.waiting {
-			// A sender matched our advertised (src, tag): it uncounted us
-			// and left the message at the head of its FIFO queue.
-			m := mb.take(src, tag)
-			if m == nil {
-				panic("machine: woken without a matching message")
-			}
-			mb.mu.Unlock()
-			return m
-		}
-		mb.cond.Wait()
-	}
-}
-
-// verifyStalled is phase 2 of deadlock detection: freeze all scheduler
-// state by holding the detector mutex, every mailbox lock, and the barrier
-// lock, then decide exactly whether the simulation can ever make progress.
-// With the locks held no rank can park, unpark, finish, send, or consume,
-// so the packed counters and queue contents form a consistent snapshot. A
-// rank counted idle but due to wake leaves evidence the verifier checks: a
-// parked receiver with a matching queued message (its sender signalled it),
-// or barrier waiters whose generation was already released (departing > 0).
-func (w *World) verifyStalled() {
-	w.detMu.Lock()
-	defer w.detMu.Unlock()
-	if w.failed.Load() {
-		return
-	}
-	for i := range w.boxes {
-		w.boxes[i].mu.Lock()
-	}
-	w.bar.mu.Lock()
-	defer func() {
-		w.bar.mu.Unlock()
-		for i := range w.boxes {
-			w.boxes[i].mu.Unlock()
-		}
-	}()
-
-	recvBlocked, barParked, done := unpackState(w.state.Load())
-	if recvBlocked+barParked+done != w.p {
-		return // raced with a wakeup: somebody is running again
-	}
-	if done == w.p || w.bar.departing > 0 {
-		return // normal termination, or barrier waiters on their way out
-	}
-	inflight := 0
-	for i := range w.boxes {
-		mb := &w.boxes[i]
-		inflight += mb.inflight
-		if mb.waiting && mb.peek(mb.wantSrc, mb.wantTag) {
-			return // pending wakeup: a matching message is queued
-		}
-	}
-
-	// Verified: every rank is blocked, parked, or finished, no blocked
-	// Recv can be satisfied, and (with finished ranks) no Barrier can
-	// complete. Nothing will ever run again — abort the world.
-	var msg string
-	switch {
-	case recvBlocked == 0 && barParked > 0 && done > 0:
-		msg = fmt.Sprintf("deadlock: %d ranks in Barrier can never be released (%d ranks already finished)", barParked, done)
-	case recvBlocked == 0:
-		return // all-Barrier with no finisher resolves via the barrier itself
-	case barParked > 0 || done > 0:
-		msg = fmt.Sprintf("deadlock: %d ranks blocked in Recv, %d in Barrier, %d finished, with %d undeliverable messages in flight", recvBlocked, barParked, done, inflight)
-	default:
-		msg = fmt.Sprintf("deadlock: all %d ranks blocked in Recv with %d undeliverable messages in flight", recvBlocked, inflight)
-	}
-	if obs.Enabled() {
-		mDeadlocks.Inc()
-	}
-	w.failMsg = msg
-	w.failed.Store(true)
-	for i := range w.boxes {
-		w.boxes[i].cond.Broadcast()
-	}
-	w.bar.cond.Broadcast()
-}
+func (w *World) Run(body func(*Rank)) error { return w.eng.run(body) }
 
 // Stats aggregates the per-rank statistics after Run has completed.
 func (w *World) Stats() WorldStats {
@@ -538,4 +298,22 @@ func (w *World) Stats() WorldStats {
 		}
 	}
 	return ws
+}
+
+// deadlockMessage renders the verdict of a deadlock verification. Both
+// engines use it, so a given stuck communication pattern aborts with the
+// same diagnostic regardless of the engine. The empty string means the
+// state is not a deadlock (all ranks parked in a barrier with no finished
+// rank resolves via the barrier's own release).
+func deadlockMessage(recvBlocked, barParked, done, inflight int) string {
+	switch {
+	case recvBlocked == 0 && barParked > 0 && done > 0:
+		return fmt.Sprintf("deadlock: %d ranks in Barrier can never be released (%d ranks already finished)", barParked, done)
+	case recvBlocked == 0:
+		return ""
+	case barParked > 0 || done > 0:
+		return fmt.Sprintf("deadlock: %d ranks blocked in Recv, %d in Barrier, %d finished, with %d undeliverable messages in flight", recvBlocked, barParked, done, inflight)
+	default:
+		return fmt.Sprintf("deadlock: all %d ranks blocked in Recv with %d undeliverable messages in flight", recvBlocked, inflight)
+	}
 }

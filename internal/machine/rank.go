@@ -95,7 +95,7 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 	}
 	m := globalArena.getMsg()
 	m.src, m.dst, m.tag, m.data, m.sendClock = r.id, dst, tag, cp, r.clock
-	r.world.send(m)
+	r.world.eng.send(m)
 }
 
 // addPhase accumulates words under a phase label, creating the map on first
@@ -117,7 +117,7 @@ func (r *Rank) recvMsg(src, tag int) *message {
 		panic("machine: self-recv")
 	}
 	start := r.clock
-	m := r.world.recv(r.id, src, tag)
+	m := r.world.eng.recv(r.id, src, tag)
 	if m.sendClock > r.clock {
 		r.clock = m.sendClock
 	}
@@ -201,60 +201,10 @@ func (r *Rank) Compute(flops float64) {
 // the maximum. It charges no communication cost: it is a measurement
 // device separating phases, not an algorithmic collective.
 func (r *Rank) Barrier() {
-	w := r.world
-	b := &w.bar
 	if obs.Enabled() {
 		mBarrierWaits.Inc(r.id)
 	}
-	b.mu.Lock()
-	if w.failed.Load() {
-		b.mu.Unlock()
-		w.abort()
-	}
-	if r.clock > b.clock {
-		b.clock = r.clock
-	}
-	if b.arrived == w.p-1 {
-		// Last arrival releases the generation: publish the max clock,
-		// uncount the waiters in one step (a released waiter has a pending
-		// wakeup, so it counts as running, not parked), mark them as
-		// departing, and reset for the next generation.
-		b.release = b.clock
-		b.clock = 0
-		b.departing += b.arrived
-		w.state.Add(neg(uint64(b.arrived) * barUnit))
-		b.arrived = 0
-		b.gen++
-		r.clock = b.release
-		b.mu.Unlock()
-		b.cond.Broadcast()
-		return
-	}
-	b.arrived++
-	gen := b.gen
-	// Park: count ourselves and run the phase-1 deadlock check — arriving
-	// at a barrier some ranks can never reach (blocked Recv, early exit)
-	// may be the transition that strands the world. The releasing rank
-	// uncounts us, so we stay counted exactly while the generation is
-	// still pending.
-	if s := w.state.Add(barUnit); stateSum(s) == w.p {
-		b.mu.Unlock()
-		w.verifyStalled()
-		b.mu.Lock()
-	}
-	for b.gen == gen && !w.failed.Load() {
-		b.cond.Wait()
-	}
-	if b.gen == gen {
-		// Not released: the world failed while we waited, and we are
-		// still counted (only a release uncounts waiters).
-		w.state.Add(neg(barUnit))
-		b.mu.Unlock()
-		w.abort()
-	}
-	b.departing--
-	r.clock = b.release
-	b.mu.Unlock()
+	r.world.eng.barrier(r)
 }
 
 // GrowMemory records an allocation of the given number of words in the

@@ -205,6 +205,12 @@ type SimulateRequest struct {
 	// every message is priced through its routes and contention factors.
 	// The spec must fit every problem's P (batch entries included).
 	Topology *TopologyJSON `json:"topology,omitempty"`
+	// Engine selects the simulator's scheduling backend: "goroutine" (the
+	// default) or "event". Results are bit-identical; the event engine
+	// admits far larger P (see Config.MaxSimProcsEvent), so requests
+	// rejected as too large on the goroutine engine can retry with
+	// "engine": "event". Unknown names answer 400 with kind "bad_opts".
+	Engine string `json:"engine,omitempty"`
 }
 
 // SimulateResult is the outcome of one simulated run.
@@ -256,8 +262,9 @@ type ErrorResponse struct {
 	// Error is the human-readable message (the wrapped error chain).
 	Error string `json:"error"`
 	// Kind is the machine-readable taxonomy tag: bad_dims,
-	// bad_processor_count, grid_mismatch, unsupported_alg, bad_opts,
-	// bad_topology, bad_request, not_found, queue_full, or internal.
+	// bad_processor_count, too_many_ranks, grid_mismatch, unsupported_alg,
+	// bad_opts, bad_topology, bad_request, not_found, queue_full, or
+	// internal.
 	Kind string `json:"kind"`
 }
 

@@ -11,8 +11,8 @@ import (
 // statusFor maps the core error taxonomy onto HTTP status codes,
 // deterministically:
 //
-//	ErrBadDims, ErrBadProcessorCount, ErrBadOpts,
-//	ErrBadTopology                               → 400 Bad Request
+//	ErrBadDims, ErrBadProcessorCount, ErrTooManyRanks,
+//	ErrBadOpts, ErrBadTopology                   → 400 Bad Request
 //	ErrUnsupportedAlg                            → 404 Not Found
 //	ErrGridMismatch                              → 422 Unprocessable Entity
 //	ErrJobQueueFull                              → 503 Service Unavailable
@@ -24,6 +24,7 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, core.ErrBadDims),
 		errors.Is(err, core.ErrBadProcessorCount),
+		errors.Is(err, core.ErrTooManyRanks),
 		errors.Is(err, core.ErrBadOpts),
 		errors.Is(err, core.ErrBadTopology):
 		return http.StatusBadRequest
@@ -45,6 +46,8 @@ func kindFor(err error) string {
 		return "bad_dims"
 	case errors.Is(err, core.ErrBadProcessorCount):
 		return "bad_processor_count"
+	case errors.Is(err, core.ErrTooManyRanks):
+		return "too_many_ranks"
 	case errors.Is(err, core.ErrBadOpts):
 		return "bad_opts"
 	case errors.Is(err, core.ErrBadTopology):

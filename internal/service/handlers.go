@@ -270,15 +270,27 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// checkSimProblem validates one simulation instance against the limits.
-func (s *Server) checkSimProblem(p Problem) (core.Dims, error) {
+// checkSimProblem validates one simulation instance against the
+// engine-aware admission limits: each engine has its own P ceiling (the
+// goroutine engine schedules one goroutine per rank, so it gets the tight
+// default), and a goroutine-engine rejection points the client at the
+// event engine instead of just refusing.
+func (s *Server) checkSimProblem(p Problem, engine machine.Engine) (core.Dims, error) {
 	d, err := parseProblem(p)
 	if err != nil {
 		return d, err
 	}
-	if p.P > s.cfg.MaxSimProcs {
-		return d, fmt.Errorf("service: P=%d exceeds the simulation limit %d: %w",
-			p.P, s.cfg.MaxSimProcs, core.ErrBadProcessorCount)
+	switch engine {
+	case machine.EngineEvent:
+		if p.P > s.cfg.MaxSimProcsEvent {
+			return d, fmt.Errorf("service: P=%d exceeds the event-engine simulation limit %d: %w",
+				p.P, s.cfg.MaxSimProcsEvent, core.ErrTooManyRanks)
+		}
+	default:
+		if p.P > s.cfg.MaxSimProcs {
+			return d, fmt.Errorf(`service: P=%d exceeds the goroutine-engine simulation limit %d; retry with "engine": "event" (limit %d): %w`,
+				p.P, s.cfg.MaxSimProcs, s.cfg.MaxSimProcsEvent, core.ErrTooManyRanks)
+		}
 	}
 	if d.Flops() > s.cfg.MaxSimFlops {
 		return d, fmt.Errorf("service: %v needs %.3g flops, over the simulation limit %.3g: %w",
@@ -309,7 +321,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, fmt.Sprintf("batch of %d exceeds the limit %d", len(problems), s.cfg.MaxBatch))
 		return
 	}
-	opts := algs.Opts{Config: machine.Config{Alpha: req.Alpha, Beta: req.Beta, Gamma: req.Gamma}}
+	engine, err := machine.ParseEngine(req.Engine)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	opts := algs.Opts{
+		Config: machine.Config{Alpha: req.Alpha, Beta: req.Beta, Gamma: req.Gamma},
+		Engine: engine,
+	}
 	if req.Alpha == 0 && req.Beta == 0 && req.Gamma == 0 {
 		opts.Config = machine.BandwidthOnly()
 	}
@@ -324,7 +344,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// the submit, not buried in a failed job. The topology spec is sized
 	// against each problem's own P, so in a batch it must fit every entry.
 	for i, p := range problems {
-		_, err := s.checkSimProblem(p)
+		_, err := s.checkSimProblem(p, engine)
 		if err == nil && req.Topology != nil {
 			_, _, err = parseTopology(req.Topology, p.P,
 				topo.Link{Alpha: opts.Config.Alpha, Beta: opts.Config.Beta})
