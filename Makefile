@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-engines paper
+.PHONY: build test race bench-engines bench-serving paper
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,19 @@ test:
 race:
 	$(GO) test -race ./internal/machine/... ./internal/collective/... \
 		./internal/experiments/... ./internal/obs/... ./internal/topo/... \
-		./internal/service/...
+		./internal/plan/... ./internal/service/...
 
 # Record the goroutine-vs-event scheduler head-to-head matrix
 # (P = 1024, 4096, 65536) to BENCH_engine_scaling.json. Same cells as
 # `go test -bench EngineScaling`; see "Event engine" in DESIGN.md.
 bench-engines:
 	$(GO) run ./cmd/benchrec -out BENCH_engine_scaling.json
+
+# Record serving throughput, latency percentiles, and singleflight dedup
+# evidence to BENCH_serving.json by driving mixed traffic at an in-process
+# parmmd; see "Planner & serving levers" in DESIGN.md.
+bench-serving:
+	$(GO) run ./cmd/loadgen -duration 15s -clients 8 -out BENCH_serving.json
 
 paper:
 	$(GO) run ./cmd/paper

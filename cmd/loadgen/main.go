@@ -1,0 +1,228 @@
+// Command loadgen drives mixed traffic at a parmmd instance —
+// /v1/lowerbound and /v1/predict envelopes plus inline and streaming
+// /v1/plan sweeps — and records sustained throughput, latency percentiles,
+// and the singleflight dedup evidence to BENCH_serving.json.
+//
+//	loadgen -duration 10s -clients 8 -out BENCH_serving.json
+//
+// With no -addr, an in-process parmmd serves on a loopback listener, so the
+// run needs no external setup (this is what the CI smoke uses). Clients in
+// the same 250 ms epoch issue identical plan requests over a fresh key
+// space, so every epoch is a burst of concurrent cold misses — the workload
+// singleflight coalescing exists for; the recorded cacheShared counter is
+// the number of duplicate computations it absorbed. Exits non-zero when no
+// request succeeds, making any short run a liveness assertion.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/benchrec"
+	"repro/internal/service"
+)
+
+// outcome is one request's measurement.
+type outcome struct {
+	endpoint string
+	latency  time.Duration
+	ok       bool
+}
+
+// client loops over the traffic mix until ctx is done, appending one
+// outcome per request. epoch0 anchors the shared plan-epoch clock.
+func client(ctx context.Context, base string, epoch0 time.Time, out *[]outcome) {
+	hc := &http.Client{}
+	bodies := []struct{ endpoint, path, body string }{
+		{"POST /v1/lowerbound", "/v1/lowerbound",
+			`{"problems":[{"n1":9600,"n2":2400,"n3":600,"p":512},{"n1":2000,"n2":2000,"n3":2000,"p":64},{"n1":100,"n2":100,"n3":100,"p":8}]}`},
+		{"POST /v1/predict", "/v1/predict",
+			`{"problems":[{"n1":9600,"n2":2400,"n3":600,"p":512,"alpha":1e-6,"beta":1e-9,"gamma":1e-11},{"n1":64,"n2":64,"n3":64,"p":8,"beta":1}]}`},
+	}
+	for i := 0; ctx.Err() == nil; i++ {
+		var endpoint, path, body string
+		stream := false
+		if i%3 == 2 {
+			// Every client sleeps to the next epoch boundary and then fires
+			// the identical plan request over a key space nobody has
+			// computed before: a synchronized burst of concurrent cold
+			// misses, the singleflight showcase. The large P range makes
+			// each cold point a real divisor search, so the burst genuinely
+			// overlaps in flight.
+			const epochLen = 250 * time.Millisecond
+			wait := epochLen - time.Since(epoch0)%epochLen
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wait):
+			}
+			epoch := int(time.Since(epoch0) / epochLen)
+			endpoint, path = "POST /v1/plan", "/v1/plan"
+			stream = epoch%4 == 3 // every fourth epoch exercises NDJSON
+			body = fmt.Sprintf(
+				`{"problems":[{"n1":2000,"n2":2000,"n3":2000,"mem":%d,"pMin":100000,"pMax":104999}],"stream":%v}`,
+				10000+epoch, stream)
+		} else {
+			b := bodies[i%3]
+			endpoint, path, body = b.endpoint, b.path, b.body
+		}
+		start := time.Now()
+		ok := doRequest(ctx, hc, base+path, body, stream)
+		*out = append(*out, outcome{endpoint: endpoint, latency: time.Since(start), ok: ok})
+	}
+}
+
+// doRequest posts body and drains the response; streaming responses are
+// read line by line so the measured latency includes the full sweep.
+func doRequest(ctx context.Context, hc *http.Client, url, body string, stream bool) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	if stream {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		n := 0
+		for sc.Scan() {
+			n++
+		}
+		return sc.Err() == nil && n > 0
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err == nil
+}
+
+func main() {
+	addr := flag.String("addr", "", "parmmd base URL (e.g. http://127.0.0.1:8080); empty serves in-process")
+	duration := flag.Duration("duration", 10*time.Second, "how long to sustain the load")
+	clients := flag.Int("clients", 8, "concurrent load-generating clients")
+	out := flag.String("out", "BENCH_serving.json", "output record path (empty: stdout only)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		srv := service.New(service.Config{
+			PlanConcurrency:    *clients,
+			ComputeConcurrency: 4 * *clients,
+			// Keep the 5000-point epoch sweep inline unless the client asks
+			// to stream, so both response modes appear in the mix.
+			PlanInlineLimit: 8192,
+			CacheSize:       1 << 16,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		defer srv.Shutdown(context.Background())
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "loadgen: in-process parmmd on %s\n", base)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	perClient := make([][]outcome, *clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client(ctx, base, start, &perClient[i])
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	latencies := make(map[string][]time.Duration)
+	errors := make(map[string]int)
+	total := 0
+	for _, list := range perClient {
+		for _, o := range list {
+			if o.ok {
+				latencies[o.endpoint] = append(latencies[o.endpoint], o.latency)
+				total++
+			} else {
+				errors[o.endpoint]++
+			}
+		}
+	}
+	if total == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no request succeeded")
+		os.Exit(1)
+	}
+
+	rec := benchrec.NewServingRecord(*clients)
+	rec.DurationSec = wall.Seconds()
+	rec.TotalRequests = total
+	rec.TotalRequestsPerSec = float64(total) / wall.Seconds()
+	endpoints := make([]string, 0, len(latencies))
+	for ep := range latencies {
+		endpoints = append(endpoints, ep)
+	}
+	for ep := range errors {
+		if _, ok := latencies[ep]; !ok {
+			endpoints = append(endpoints, ep)
+		}
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		rec.Samples = append(rec.Samples, benchrec.ServingSampleOf(ep, latencies[ep], errors[ep], wall))
+	}
+
+	var vars service.VarsResponse
+	if resp, err := http.Get(base + "/debug/vars"); err == nil {
+		err = json.NewDecoder(resp.Body).Decode(&vars)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: reading /debug/vars: %v\n", err)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "loadgen: reading /debug/vars: %v\n", err)
+	}
+	rec.PlanPoints = vars.PlanPoints
+	rec.Overloads = vars.Overloads
+	rec.Singleflight = benchrec.ServingSingleflight{
+		CacheHits:   vars.CacheHits,
+		CacheMisses: vars.CacheMisses,
+		CacheShared: vars.CacheShared,
+	}
+	if d := vars.CacheMisses + vars.CacheShared; d > 0 {
+		rec.Singleflight.DedupedPercent = 100 * float64(vars.CacheShared) / float64(d)
+	}
+
+	blob, _ := json.MarshalIndent(rec, "", "\t")
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := rec.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: %d requests (%.0f req/s), %d shared memo flights, wrote %s\n",
+			total, rec.TotalRequestsPerSec, vars.CacheShared, *out)
+	}
+}

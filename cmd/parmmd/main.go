@@ -8,17 +8,22 @@
 //	curl -s -X POST localhost:8080/v1/lowerbound \
 //	    -d '{"n1":9600,"n2":2400,"n3":600,"p":512}'
 //
-// Endpoints: POST /v1/lowerbound (single and batch), POST /v1/grid,
-// POST /v1/predict, POST /v1/simulate (async; poll GET /v1/jobs/{id},
-// cancel with DELETE), GET /healthz, GET /metrics (Prometheus text
-// format), GET /debug/vars, and — with -pprof — the net/http/pprof
-// profiles under GET /debug/pprof/. Expensive pure computations are
-// memoized in a sharded LRU; simulations run on a bounded job pool with
-// per-job deadlines, and finished jobs stay queryable for -job-ttl (capped
-// at -job-retain) before eviction. Every request is answered with an
-// X-Request-ID and logged as one JSON line on stderr. SIGINT/SIGTERM shut
-// down gracefully: the listener closes, then in-flight jobs drain (up to
-// -drain), then whatever remains is cancelled through its context.
+// Endpoints: POST /v1/lowerbound (single, batch, and envelope),
+// POST /v1/grid, POST /v1/predict, POST /v1/simulate (async; poll
+// GET /v1/jobs/{id}, list with GET /v1/jobs?state=&limit=&cursor=, cancel
+// with DELETE), POST /v1/plan (strong-scaling sweeps; large ranges stream
+// NDJSON, capped at -max-plan-points per problem), GET /healthz,
+// GET /metrics (Prometheus text format), GET /debug/vars, and — with
+// -pprof — the net/http/pprof profiles under GET /debug/pprof/. Expensive
+// pure computations are memoized in a sharded LRU with singleflight
+// coalescing; synchronous endpoints admit at most -compute-concurrency
+// (plans: -plan-concurrency) requests at once and answer 503 beyond;
+// simulations run on a bounded job pool with per-job deadlines, and
+// finished jobs stay queryable for -job-ttl (capped at -job-retain) before
+// eviction. Every request is answered with an X-Request-ID and logged as
+// one JSON line on stderr. SIGINT/SIGTERM shut down gracefully: the
+// listener closes, then in-flight jobs drain (up to -drain), then whatever
+// remains is cancelled through its context.
 package main
 
 import (
@@ -46,6 +51,10 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
 	maxFlops := flag.Float64("max-sim-flops", 1e9, "largest n1·n2·n3 a simulation may request")
 	maxProcs := flag.Int("max-sim-procs", 4096, "largest P a simulation may request")
+	maxPlanPoints := flag.Int("max-plan-points", 1<<20, "largest point count a /v1/plan problem may expand to")
+	planInline := flag.Int("plan-inline", 512, "total plan points up to which /v1/plan answers inline JSON instead of NDJSON")
+	planConc := flag.Int("plan-concurrency", 4, "concurrent /v1/plan requests admitted before 503")
+	computeConc := flag.Int("compute-concurrency", 256, "concurrent synchronous compute requests admitted before 503")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "how long finished jobs stay queryable (negative: forever)")
 	jobRetain := flag.Int("job-retain", 4096, "max finished jobs kept regardless of age (negative: uncapped)")
@@ -60,15 +69,19 @@ func main() {
 
 	experiments.SetWorkers(*workers)
 	cfg := service.Config{
-		CacheSize:       *cacheSize,
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		JobTimeout:      *jobTimeout,
-		MaxSimFlops:     *maxFlops,
-		MaxSimProcs:     *maxProcs,
-		EnablePprof:     *pprofOn,
-		JobRetention:    *jobTTL,
-		MaxJobsRetained: *jobRetain,
+		CacheSize:          *cacheSize,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		JobTimeout:         *jobTimeout,
+		MaxSimFlops:        *maxFlops,
+		MaxSimProcs:        *maxProcs,
+		MaxPlanPoints:      *maxPlanPoints,
+		PlanInlineLimit:    *planInline,
+		PlanConcurrency:    *planConc,
+		ComputeConcurrency: *computeConc,
+		EnablePprof:        *pprofOn,
+		JobRetention:       *jobTTL,
+		MaxJobsRetained:    *jobRetain,
 	}
 	if *accessLog {
 		cfg.AccessLog = os.Stderr

@@ -11,8 +11,8 @@ import "repro/internal/core"
 //	}
 //
 // The parmmd HTTP service maps the same sentinels onto status codes
-// (ErrBadDims, ErrBadProcessorCount, ErrBadOpts, ErrBadTopology → 400;
-// ErrGridMismatch, ErrUnsupportedAlg → 422).
+// (ErrBadDims, ErrBadProcessorCount, ErrBadOpts, ErrBadTopology,
+// ErrBadPlanRange → 400; ErrGridMismatch, ErrUnsupportedAlg → 422).
 var (
 	// ErrBadDims marks invalid matrix dimensions: non-positive sizes or
 	// operand shapes that do not conform.
@@ -47,4 +47,10 @@ var (
 	// execution engine supports (the goroutine engine caps P at 2^21−1;
 	// the event engine, selected with WithEngine(EngineEvent), at 2^31−1).
 	ErrTooManyRanks = core.ErrTooManyRanks
+
+	// ErrBadPlanRange marks an invalid strong-scaling plan request: a
+	// non-positive or infinite memory budget, an empty or inverted
+	// processor range, a negative stride, a range expanding past the point
+	// budget, or a fixed-size topology asked to span several P.
+	ErrBadPlanRange = core.ErrBadPlanRange
 )

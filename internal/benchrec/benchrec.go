@@ -176,7 +176,13 @@ func CountingRun(engine machine.Engine, p int) (wall time.Duration, stats machin
 // WriteFile writes the record as indented JSON, the format the repo tracks
 // in git as BENCH_engine_scaling.json.
 func (rec Record) WriteFile(path string) error {
-	blob, err := json.MarshalIndent(rec, "", "\t")
+	return writeJSONFile(rec, path)
+}
+
+// writeJSONFile writes v as indented JSON with a trailing newline, the
+// common format of every BENCH_*.json the repo tracks.
+func writeJSONFile(v any, path string) error {
+	blob, err := json.MarshalIndent(v, "", "\t")
 	if err != nil {
 		return fmt.Errorf("benchrec: encoding record: %w", err)
 	}

@@ -1,0 +1,50 @@
+package benchrec
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuantile(t *testing.T) {
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Fatalf("Quantile(nil) = %v", q)
+	}
+	// 1..100 ms: the nearest-rank quantiles are exact.
+	ds := make([]time.Duration, 100)
+	for i := range ds {
+		// Shuffle-ish order: Quantile must sort a copy, not trust input.
+		ds[(i*37)%100] = time.Duration(i+1) * time.Millisecond
+	}
+	in := make([]time.Duration, len(ds))
+	copy(in, ds)
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.90, 90 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+		{0.00, 1 * time.Millisecond},
+	} {
+		if got := Quantile(ds, tc.q); got != tc.want {
+			t.Errorf("Quantile(%.2f) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	for i := range ds {
+		if ds[i] != in[i] {
+			t.Fatal("Quantile mutated its input")
+		}
+	}
+}
+
+func TestServingSampleOf(t *testing.T) {
+	lat := []time.Duration{2 * time.Millisecond, 4 * time.Millisecond, 6 * time.Millisecond, 8 * time.Millisecond}
+	s := ServingSampleOf("POST /v1/plan", lat, 3, 2*time.Second)
+	if s.Requests != 4 || s.Errors != 3 || s.RequestsPerSec != 2 {
+		t.Fatalf("sample = %+v", s)
+	}
+	if s.P50Ms != 4 || s.P99Ms != 8 {
+		t.Fatalf("quantiles = %+v", s)
+	}
+}

@@ -44,4 +44,10 @@ var (
 	// at machine.MaxRanks, and the event engine at 2^31−1. The HTTP service
 	// maps it to 400 so an oversize request is rejected, not a crash.
 	ErrTooManyRanks = errors.New("too many ranks")
+
+	// ErrBadPlanRange marks an invalid strong-scaling plan request: a
+	// non-positive per-rank memory, an empty or inverted processor range, a
+	// negative stride, a range too large for the serving limits, or a
+	// fixed-size topology spec asked to span more than one processor count.
+	ErrBadPlanRange = errors.New("invalid plan range")
 )

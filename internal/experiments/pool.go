@@ -51,6 +51,35 @@ func Map[T any](n int, fn func(int) (T, error)) ([]T, error) {
 // returned. fn itself is not passed the context; sweep points are short
 // relative to a sweep, so between-point cancellation is what long runs
 // need.
+// MapChunksContext evaluates fn(0), …, fn(n-1) in chunks of chunk indexes:
+// each chunk fans out across the worker pool exactly like MapContext, then
+// emit receives the chunk's results in index order before the next chunk
+// starts. Peak memory is one chunk of results rather than all n, which is
+// what lets a caller stream a very large sweep (the /v1/plan NDJSON path)
+// without buffering it. chunk ≤ 0 selects 256. An fn error aborts with the
+// lowest failing index of its chunk (MapContext's contract); an emit error
+// aborts with that error; ctx cancellation stops new claims and returns
+// ctx's error.
+func MapChunksContext[T any](ctx context.Context, n, chunk int, fn func(int) (T, error), emit func([]T) error) error {
+	if chunk <= 0 {
+		chunk = 256
+	}
+	for start := 0; start < n; start += chunk {
+		m := chunk
+		if start+m > n {
+			m = n - start
+		}
+		out, err := MapContext(ctx, m, func(j int) (T, error) { return fn(start + j) })
+		if err != nil {
+			return err
+		}
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func MapContext[T any](ctx context.Context, n int, fn func(int) (T, error)) ([]T, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -87,6 +87,19 @@ func Alg1Time(d core.Dims, g grid.Grid, cfg machine.Config, alg collective.Algor
 	}
 }
 
+// Alg1TimeUnderMemory predicts Algorithm 1 on the cheapest grid whose
+// per-processor footprint fits in mem words (grid.OptimalUnderMemory),
+// returning the chosen grid alongside the prediction. ok is false when no
+// grid over p processors fits — the regime left of the §6.2 memory floor,
+// where the planner reports the bound but no feasible schedule.
+func Alg1TimeUnderMemory(d core.Dims, p int, mem float64, cfg machine.Config, alg collective.Algorithm) (pred Prediction, g grid.Grid, ok bool) {
+	g, ok = grid.OptimalUnderMemory(d, p, mem)
+	if !ok {
+		return Prediction{}, grid.Grid{}, false
+	}
+	return Alg1Time(d, g, cfg, alg), g, true
+}
+
 // SerialTime returns the single-processor execution time γ·mnk.
 func SerialTime(d core.Dims, cfg machine.Config) float64 {
 	return cfg.Gamma * d.Flops()

@@ -1,0 +1,361 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func relEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestCrossoverPinnedRectangular pins the §6.2 threshold against a
+// hand-computed rectangular example: dims 9600×2400×600 and M = 40000
+// words give mnk = 1.3824·10¹⁰ and M^{3/2} = 8·10⁶, so
+// P* = (8/27)·1728 = 512 exactly. Sorted dims 9600 ≥ 2400 ≥ 600 put the
+// case boundaries at m/n = 4 and mn/k² = 64, and the one-copy memory
+// floor at ⌈(mn+mk+nk)/M⌉ = ⌈30240000/40000⌉ = 756.
+func TestCrossoverPinnedRectangular(t *testing.T) {
+	req := Request{
+		Dims: core.NewDims(9600, 2400, 600),
+		Mem:  40000,
+		PMin: 64, PMax: 1024,
+	}
+	sum, err := Summarize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEq(sum.CrossoverP, 512, 1e-9) {
+		t.Errorf("CrossoverP = %v, want 512", sum.CrossoverP)
+	}
+	if sum.CaseBoundaries != [2]float64{4, 64} {
+		t.Errorf("CaseBoundaries = %v, want [4 64]", sum.CaseBoundaries)
+	}
+	if sum.MemoryFloorP != 756 {
+		t.Errorf("MemoryFloorP = %v, want 756", sum.MemoryFloorP)
+	}
+	if !sum.CrossoverInRange {
+		t.Error("CrossoverInRange = false, want true (512 ∈ (64, 1024])")
+	}
+	if sum.Points != 961 {
+		t.Errorf("Points = %d, want 961", sum.Points)
+	}
+}
+
+// TestCrossoverObservedSquare pins the swept crossover on a square
+// hand-computed example: n = 2000, M = 10⁴ gives
+// P* = (8/27)·8·10⁹/10⁶ = 64000/27 ≈ 2370.37, so a unit-stride sweep
+// of [2300, 2400] must flip from memory-dependent to independent at
+// P = 2371 — at 2370 the bounds are 2mnk/(P√M) ≈ 67510 vs
+// D = 3(mnk/P)^{2/3} ≈ 67507, at 2371 the order reverses. The one-copy
+// floor is 3n²/M = 1200 < 2300, so every memory-dependent point sits in
+// the perfect-strong-scaling range; and Algorithm 1's footprint
+// D > 66000 ≫ M means no grid fits anywhere in the sweep.
+func TestCrossoverObservedSquare(t *testing.T) {
+	req := Request{
+		Dims: core.NewDims(2000, 2000, 2000),
+		Mem:  1e4,
+		PMin: 2300, PMax: 2400,
+	}
+	sum, pts, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ObservedCrossoverP != 2371 {
+		t.Fatalf("ObservedCrossoverP = %d, want 2371", sum.ObservedCrossoverP)
+	}
+	if !relEq(sum.CrossoverP, 64000.0/27.0, 1e-12) {
+		t.Errorf("CrossoverP = %v, want 64000/27", sum.CrossoverP)
+	}
+	if sum.MemoryFloorP != 1200 {
+		t.Errorf("MemoryFloorP = %v, want 1200", sum.MemoryFloorP)
+	}
+	if len(pts) != 101 {
+		t.Fatalf("got %d points, want 101", len(pts))
+	}
+	crossings := 0
+	for i, pt := range pts {
+		if pt.P != 2300+i {
+			t.Fatalf("pts[%d].P = %d, want %d", i, pt.P, 2300+i)
+		}
+		wantMD := pt.P <= 2370
+		if pt.MemoryDependent != wantMD {
+			t.Errorf("P=%d MemoryDependent = %v, want %v", pt.P, pt.MemoryDependent, wantMD)
+		}
+		if pt.PerfectScaling != wantMD {
+			t.Errorf("P=%d PerfectScaling = %v, want %v", pt.P, pt.PerfectScaling, wantMD)
+		}
+		if pt.Crossover {
+			crossings++
+			if pt.P != 2371 {
+				t.Errorf("Crossover flag on P=%d, want 2371", pt.P)
+			}
+		}
+		if pt.Fits || pt.Grid != nil || pt.Time != 0 {
+			t.Errorf("P=%d claims a feasible grid under M=10⁴ (needs ≥ D ≈ 6.7·10⁴)", pt.P)
+		}
+		if pt.Case != 3 || pt.TightConstant != 3 {
+			t.Errorf("P=%d case/constant = %d/%v, want 3/3", pt.P, pt.Case, pt.TightConstant)
+		}
+		if pt.Binding < pt.MemBound || pt.Binding+1e-9 < pt.Bound {
+			t.Errorf("P=%d binding %v below a bound (mem %v, mi %v)", pt.P, pt.Binding, pt.MemBound, pt.Bound)
+		}
+	}
+	if crossings != 1 {
+		t.Errorf("%d points carry the Crossover flag, want 1", crossings)
+	}
+}
+
+// TestLog2Sweep checks the geometric range: 1, 2, 4, …, 4096 is 13
+// points, and with n = 2000, M = 10⁴ the crossover (≈ 2370.37) is first
+// witnessed at the swept point 4096 (2048 is still memory-dependent).
+func TestLog2Sweep(t *testing.T) {
+	req := Request{
+		Dims: core.NewDims(2000, 2000, 2000),
+		Mem:  1e4,
+		PMin: 1, PMax: 4096,
+		Log2: true,
+	}
+	if n := req.Points(); n != 13 {
+		t.Fatalf("Points = %d, want 13", n)
+	}
+	sum, pts, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ObservedCrossoverP != 4096 {
+		t.Errorf("ObservedCrossoverP = %d, want 4096", sum.ObservedCrossoverP)
+	}
+	for i, pt := range pts {
+		if pt.P != 1<<i {
+			t.Fatalf("pts[%d].P = %d, want %d", i, pt.P, 1<<i)
+		}
+	}
+	last := pts[len(pts)-1]
+	if !last.Crossover || last.MemoryDependent {
+		t.Errorf("P=4096: Crossover=%v MemoryDependent=%v, want true/false", last.Crossover, last.MemoryDependent)
+	}
+}
+
+// TestFeasiblePoint checks the schedule fields once memory admits a grid:
+// at P = 65536 the n = 2000 footprint 3(n³/P)^{2/3} ≈ 7390 fits in 10⁴,
+// and under the default bandwidth-only machine the predicted time reads
+// directly in words, at or above the memory-independent bound.
+func TestFeasiblePoint(t *testing.T) {
+	req := Request{
+		Dims: core.NewDims(2000, 2000, 2000),
+		Mem:  1e4,
+		PMin: 65536, PMax: 65536,
+	}
+	_, pts, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pts[0]
+	if !pt.Fits || pt.Grid == nil {
+		t.Fatalf("P=65536 should fit: %+v", pt)
+	}
+	if pt.MemoryCost > req.Mem {
+		t.Errorf("MemoryCost %v exceeds budget %v", pt.MemoryCost, req.Mem)
+	}
+	if pt.Time != pt.Words || pt.Words <= 0 {
+		t.Errorf("bandwidth-only Time %v != Words %v", pt.Time, pt.Words)
+	}
+	if pt.Words+1e-9 < pt.Bound {
+		t.Errorf("predicted words %v below the lower bound %v", pt.Words, pt.Bound)
+	}
+	if pt.Speedup != 0 || pt.Efficiency != 0 {
+		t.Errorf("γ=0 speedup/efficiency = %v/%v, want 0", pt.Speedup, pt.Efficiency)
+	}
+
+	req.Config = machine.Config{Alpha: 1, Beta: 1, Gamma: 1}
+	_, pts, err = Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Speedup <= 0 || pts[0].Efficiency <= 0 {
+		t.Errorf("γ>0 speedup/efficiency = %v/%v, want > 0", pts[0].Speedup, pts[0].Efficiency)
+	}
+}
+
+// TestValidate walks the rejection taxonomy.
+func TestValidate(t *testing.T) {
+	ok := Request{Dims: core.NewDims(100, 100, 100), Mem: 1e6, PMin: 1, PMax: 8}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Request)
+		want error
+	}{
+		{"zero mem", func(r *Request) { r.Mem = 0 }, core.ErrBadPlanRange},
+		{"negative mem", func(r *Request) { r.Mem = -5 }, core.ErrBadPlanRange},
+		{"infinite mem", func(r *Request) { r.Mem = math.Inf(1) }, core.ErrBadPlanRange},
+		{"zero pmin", func(r *Request) { r.PMin = 0 }, core.ErrBadPlanRange},
+		{"inverted range", func(r *Request) { r.PMin = 8; r.PMax = 4 }, core.ErrBadPlanRange},
+		{"negative stride", func(r *Request) { r.PStep = -1 }, core.ErrBadPlanRange},
+		{"too many points", func(r *Request) { r.PMax = 100; r.MaxPoints = 10 }, core.ErrBadPlanRange},
+		{"bad dims", func(r *Request) { r.Dims = core.NewDims(0, 1, 1) }, core.ErrBadDims},
+		{"unknown topology", func(r *Request) { r.TopoSpec = "bogus" }, core.ErrBadTopology},
+		{"unknown placement", func(r *Request) { r.TopoSpec = "flat"; r.Place = "bogus" }, core.ErrBadTopology},
+		{"fixed-size topology over a range", func(r *Request) {
+			r.PMin, r.PMax = 64, 128
+			r.TopoSpec = "torus=4x4x4"
+		}, core.ErrBadPlanRange},
+	}
+	for _, tc := range cases {
+		r := ok
+		tc.mut(&r)
+		if err := r.Validate(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Validate = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSweepChunks checks the streaming contract: chunks arrive in index
+// order with the requested size (last one ragged) and concatenate to the
+// full sweep.
+func TestSweepChunks(t *testing.T) {
+	req := Request{Dims: core.NewDims(100, 100, 100), Mem: 1e6, PMin: 1, PMax: 100}
+	var sizes []int
+	var all []Point
+	_, err := Planner{}.Sweep(context.Background(), req, 16, func(chunk []Point) error {
+		sizes = append(sizes, len(chunk))
+		all = append(all, chunk...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 7 {
+		t.Fatalf("got %d chunks (%v), want 7", len(sizes), sizes)
+	}
+	for i, n := range sizes {
+		want := 16
+		if i == 6 {
+			want = 4
+		}
+		if n != want {
+			t.Errorf("chunk %d has %d points, want %d", i, n, want)
+		}
+	}
+	for i, pt := range all {
+		if pt.P != i+1 {
+			t.Fatalf("all[%d].P = %d, want %d", i, pt.P, i+1)
+		}
+	}
+}
+
+// TestSweepCancel checks a cancelled context aborts the sweep with the
+// context's error.
+func TestSweepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := Request{Dims: core.NewDims(100, 100, 100), Mem: 1e6, PMin: 1, PMax: 1000}
+	_, err := Planner{}.Sweep(ctx, req, 0, func([]Point) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Sweep on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestPointMemo checks the memo hook carries points across sweeps — keys
+// are range-independent, so a second overlapping range computes nothing
+// new — while the range-dependent Crossover flag is still recomputed.
+func TestPointMemo(t *testing.T) {
+	var mu sync.Mutex
+	store := map[string]Point{}
+	computes := 0
+	pl := Planner{PointMemo: func(key string, compute func() (Point, error)) (Point, error) {
+		mu.Lock()
+		pt, hit := store[key]
+		mu.Unlock()
+		if hit {
+			return pt, nil
+		}
+		pt, err := compute()
+		if err != nil {
+			return Point{}, err
+		}
+		mu.Lock()
+		computes++
+		store[key] = pt
+		mu.Unlock()
+		return pt, nil
+	}}
+
+	req := Request{Dims: core.NewDims(2000, 2000, 2000), Mem: 1e4, PMin: 2300, PMax: 2400}
+	if _, _, err := pl.Run(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if computes != 101 {
+		t.Fatalf("first sweep computed %d points, want 101", computes)
+	}
+	sub := req
+	sub.PMin = 2350
+	_, pts, err := pl.Run(context.Background(), sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computes != 101 {
+		t.Errorf("overlapping sweep recomputed: %d total computes, want 101", computes)
+	}
+	found := false
+	for _, pt := range pts {
+		if pt.Crossover {
+			found = pt.P == 2371
+		}
+	}
+	if !found {
+		t.Error("cached sweep lost the Crossover flag at P=2371")
+	}
+}
+
+// TestTopologyPlan checks the topology-priced path: a flat fabric matches
+// the uniform model exactly (slowdown 1) and a shared-NIC two-level
+// fabric degrades it.
+func TestTopologyPlan(t *testing.T) {
+	req := Request{
+		Dims: core.NewDims(64, 64, 64),
+		Mem:  1e9,
+		PMin: 8, PMax: 64,
+		Log2:     true,
+		Config:   machine.Config{Alpha: 2, Beta: 1, Gamma: 1.0 / 16},
+		TopoSpec: "flat",
+	}
+	sum, pts, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Topology != "flat" || sum.Placement != "contiguous" {
+		t.Errorf("summary fabric = %q/%q", sum.Topology, sum.Placement)
+	}
+	for _, pt := range pts {
+		if pt.Slowdown != 1 {
+			t.Errorf("flat P=%d slowdown = %v, want 1", pt.P, pt.Slowdown)
+		}
+	}
+
+	req.TopoSpec = "twolevel=4"
+	_, tl, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range tl {
+		if pt.Slowdown < 1 {
+			t.Errorf("twolevel P=%d slowdown = %v, want ≥ 1", pt.P, pt.Slowdown)
+		}
+		if pt.Time < pts[i].Time {
+			t.Errorf("twolevel P=%d time %v below flat %v", pt.P, pt.Time, pts[i].Time)
+		}
+	}
+}

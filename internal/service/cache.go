@@ -22,6 +22,7 @@ type Cache struct {
 	shards [cacheShards]cacheShard
 	hits   atomic.Int64
 	misses atomic.Int64
+	shared atomic.Int64
 }
 
 type cacheShard struct {
@@ -29,6 +30,18 @@ type cacheShard struct {
 	capacity int
 	entries  map[string]*list.Element
 	order    *list.List // front = most recently used
+	// flight holds the in-progress GetOrCompute calls of this shard, so
+	// concurrent misses on one key collapse to a single computation.
+	flight map[string]*flightCall
+}
+
+// flightCall is one in-progress computation: the owner closes done after
+// publishing val, and ok distinguishes a completed computation from one
+// abandoned by a panic (waiters then compute for themselves).
+type flightCall struct {
+	done chan struct{}
+	val  any
+	ok   bool
 }
 
 type cacheEntry struct {
@@ -92,6 +105,10 @@ func (c *Cache) Put(key string, val any) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.putLocked(key, val)
+}
+
+func (s *cacheShard) putLocked(key string, val any) {
 	if el, ok := s.entries[key]; ok {
 		el.Value.(*cacheEntry).val = val
 		s.order.MoveToFront(el)
@@ -108,17 +125,55 @@ func (c *Cache) Put(key string, val any) {
 }
 
 // GetOrCompute returns the cached value for key, computing and storing it
-// on a miss. Concurrent misses on the same key may compute fn more than
-// once — fn is pure, so the duplicates are identical and merely redundant;
-// a singleflight layer is not worth its synchronization on these
-// microsecond-to-millisecond computations.
+// on a miss. Concurrent misses on the same key collapse to one computation
+// (singleflight): the first caller runs fn outside the shard lock while
+// later callers wait on its result, counted under Shared() rather than as
+// misses. This is what keeps a burst of identical plan or grid requests
+// from multiplying the divisor-search work P-fold — the original
+// duplicated-compute design was fine for microsecond memo bodies but not
+// for plan points, whose OptimalUnderMemory search is the request cost.
 func (c *Cache) GetOrCompute(key string, fn func() any) any {
-	if v, ok := c.Get(key); ok {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		c.hits.Add(1)
+		v := el.Value.(*cacheEntry).val
+		s.mu.Unlock()
 		return v
 	}
-	v := fn()
-	c.Put(key, v)
-	return v
+	if fc, ok := s.flight[key]; ok {
+		c.shared.Add(1)
+		s.mu.Unlock()
+		<-fc.done
+		if fc.ok {
+			return fc.val
+		}
+		// The owner panicked before publishing; compute independently.
+		return c.GetOrCompute(key, fn)
+	}
+	c.misses.Add(1)
+	fc := &flightCall{done: make(chan struct{})}
+	if s.flight == nil {
+		s.flight = make(map[string]*flightCall)
+	}
+	s.flight[key] = fc
+	s.mu.Unlock()
+	// The flight entry must be cleared and waiters released even if fn
+	// panics — otherwise every later caller of this key would block
+	// forever. The cached value is only stored on success.
+	defer func() {
+		s.mu.Lock()
+		delete(s.flight, key)
+		if fc.ok {
+			s.putLocked(key, fc.val)
+		}
+		s.mu.Unlock()
+		close(fc.done)
+	}()
+	fc.val = fn()
+	fc.ok = true
+	return fc.val
 }
 
 // Len returns the current number of cached entries.
@@ -136,4 +191,11 @@ func (c *Cache) Len() int {
 // Stats returns the cumulative hit and miss counts.
 func (c *Cache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Shared returns how many GetOrCompute calls were satisfied by waiting on
+// another caller's in-flight computation instead of computing themselves —
+// the work singleflight saved. It is disjoint from both hits and misses.
+func (c *Cache) Shared() int64 {
+	return c.shared.Load()
 }

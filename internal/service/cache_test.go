@@ -3,7 +3,9 @@ package service
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestCacheBasics(t *testing.T) {
@@ -67,6 +69,88 @@ func TestCacheGetOrCompute(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("fn called %d times, want 1", calls)
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCacheSingleflight: concurrent GetOrCompute calls on one cold key run
+// the compute function exactly once; the late arrivals park on the
+// in-flight call and are counted as shared, not as hits or misses.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(64)
+	const waiters = 8
+	release := make(chan struct{})
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.GetOrCompute("k", func() any {
+				calls.Add(1)
+				<-release
+				return 42
+			}).(int)
+		}(i)
+	}
+	// Hold the compute open until every other goroutine has joined the
+	// flight, so the collapse is forced, not a race we might win.
+	waitUntil(t, "waiters to join the flight", func() bool { return c.Shared() == waiters-1 })
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("waiter %d got %d", i, v)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 1 || c.Shared() != waiters-1 {
+		t.Fatalf("stats = %d hits, %d misses, %d shared; want 0, 1, %d",
+			hits, misses, c.Shared(), waiters-1)
+	}
+}
+
+// TestCacheSingleflightPanic: a compute that panics publishes nothing; the
+// parked waiter retries with its own function instead of receiving a stale
+// zero value or deadlocking on a never-closed flight.
+func TestCacheSingleflightPanic(t *testing.T) {
+	c := NewCache(64)
+	gate := make(chan struct{})
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		c.GetOrCompute("k", func() any { <-gate; panic("boom") })
+	}()
+	waitUntil(t, "panicking flight to register", func() bool { _, m := c.Stats(); return m == 1 })
+	got := make(chan int, 1)
+	go func() {
+		got <- c.GetOrCompute("k", func() any { return 7 }).(int)
+	}()
+	waitUntil(t, "waiter to join the flight", func() bool { return c.Shared() == 1 })
+	close(gate)
+	if p := <-panicked; p == nil {
+		t.Fatal("compute did not panic through GetOrCompute")
+	}
+	if v := <-got; v != 7 {
+		t.Fatalf("waiter after panic got %d, want its own computation 7", v)
+	}
+	if v, ok := c.Get("k"); !ok || v.(int) != 7 {
+		t.Fatalf("cache after retry = %v, %v", v, ok)
 	}
 }
 

@@ -7,6 +7,8 @@
 // counters. See DESIGN.md "Service architecture".
 package service
 
+import "time"
+
 // Problem identifies one multiplication instance: the shape (an N1×N2
 // matrix times an N2×N3 matrix) and the processor count P.
 type Problem struct {
@@ -20,14 +22,31 @@ type Problem struct {
 	P int `json:"p"`
 }
 
-// LowerBoundRequest is the body of POST /v1/lowerbound: either a single
-// inline Problem, or a Batch of problems (when Batch is non-empty the
-// inline fields are ignored).
+// LowerBoundRequest is the body of POST /v1/lowerbound. The v1 envelope
+// shape is {"problems": [...]}, answered by an Envelope[LowerBoundResponse]
+// with per-index partial success. Two legacy shapes are still accepted for
+// one version: a single inline Problem (answered by a bare
+// LowerBoundResponse) and {"batch": [...]} (answered by a
+// BatchLowerBoundResponse, first error failing the whole batch). When
+// Problems is non-empty it wins; otherwise Batch; otherwise the inline
+// fields.
 type LowerBoundRequest struct {
 	Problem
-	// Batch, when non-empty, requests bounds for every listed problem in
-	// order; the response is then a BatchLowerBoundResponse.
+	// Problems is the unified v1 envelope form.
+	Problems []Problem `json:"problems,omitempty"`
+	// Batch is the legacy batch form.
 	Batch []Problem `json:"batch,omitempty"`
+}
+
+// Envelope is the unified v1 response envelope: Results[i] answers
+// Problems[i] from the request, nil when that entry failed; each failure
+// appears in Errors with its index. A response with some nil results is
+// partial success and still answers 200 — only request-level failures
+// (malformed JSON, empty or oversized problem lists) and, for expensive
+// endpoints like /v1/plan, validation failures answer non-2xx.
+type Envelope[T any] struct {
+	Results []*T            `json:"results"`
+	Errors  []EnvelopeError `json:"errors,omitempty"`
 }
 
 // GridJSON is a processor grid in responses: P1×P2×P3 with P1 partitioning
@@ -125,10 +144,10 @@ type TopologyJSON struct {
 	Place string `json:"place,omitempty"`
 }
 
-// PredictRequest is the body of POST /v1/predict: a problem plus the α-β-γ
+// PredictProblem is one prediction instance: a problem plus the α-β-γ
 // machine model; Grid optionally pins the processor grid (it must multiply
 // to P), otherwise the eq. (3)-optimal grid is used.
-type PredictRequest struct {
+type PredictProblem struct {
 	Problem
 	// Grid, when non-zero, is the grid to predict on.
 	Grid *GridJSON `json:"grid,omitempty"`
@@ -143,6 +162,18 @@ type PredictRequest struct {
 	// fully connected network; the response then carries the topology
 	// fields.
 	Topology *TopologyJSON `json:"topology,omitempty"`
+}
+
+// PredictRequest is the body of POST /v1/predict. The v1 envelope shape is
+// {"problems": [...]} with one full PredictProblem per entry, answered by
+// an Envelope[PredictResponse] with per-index partial success; the legacy
+// single inline shape is still accepted for one version and answered by a
+// bare PredictResponse.
+type PredictRequest struct {
+	PredictProblem
+	// Problems is the unified v1 envelope form; when non-empty the inline
+	// fields are ignored.
+	Problems []PredictProblem `json:"problems,omitempty"`
 }
 
 // PredictResponse decomposes Algorithm 1's predicted execution time on the
@@ -185,9 +216,15 @@ type SimulateRequest struct {
 	// AllToAll3D, CARMA, Alg1LowMem, OneD, SUMMA, Cannon, TwoPointFiveD.
 	// Empty selects Alg1.
 	Alg string `json:"alg,omitempty"`
-	// Batch, when non-empty, simulates every listed problem with Alg under
-	// a single job (the inline problem fields are ignored); the job result
-	// is then a list of SimulateResult.
+	// Problems is the unified v1 envelope form: every listed problem runs
+	// with the request-level alg/machine/topology under a single job.
+	// Validation failures answer 400 with an Envelope listing every bad
+	// index; the accepted job's result is an Envelope[SimulateResult] with
+	// per-index partial success. When non-empty, Batch and the inline
+	// problem fields are ignored.
+	Problems []Problem `json:"problems,omitempty"`
+	// Batch is the legacy batch form: one job whose result is a plain list
+	// of SimulateResult, any failure failing the whole job.
 	Batch []Problem `json:"batch,omitempty"`
 	// Seed seeds the deterministic pseudo-random input matrices.
 	Seed uint64 `json:"seed,omitempty"`
@@ -257,6 +294,75 @@ type JobResponse struct {
 	Error string `json:"error,omitempty"`
 }
 
+// EnvelopeError locates one failed problem inside a v1 envelope response:
+// the problem's index in the request's "problems" list, the machine-
+// readable taxonomy code (same vocabulary as ErrorResponse.Kind), and the
+// human-readable message.
+type EnvelopeError struct {
+	Index   int    `json:"index"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// JobListItem is one row of GET /v1/jobs: identity, state, and submit
+// time — enough for an operator or load generator to enumerate work
+// without fetching each job's (possibly large) result.
+type JobListItem struct {
+	// ID is the job identifier.
+	ID string `json:"id"`
+	// Status is the lifecycle state.
+	Status string `json:"status"`
+	// Created is the submission time (UTC).
+	Created time.Time `json:"created"`
+}
+
+// JobListResponse is the body of GET /v1/jobs: jobs in submission order,
+// cursor-paginated.
+type JobListResponse struct {
+	// Jobs is this page, oldest submission first.
+	Jobs []JobListItem `json:"jobs"`
+	// NextCursor, when non-empty, is the cursor= value for the next page;
+	// absent when this page exhausted the listing.
+	NextCursor string `json:"nextCursor,omitempty"`
+}
+
+// normalize resolves the accepted request shapes to one problem list:
+// envelope reports the v1 {"problems": [...]} form (answered with an
+// Envelope), batch the legacy {"batch": [...]} form (answered with the
+// legacy batch response), and neither means the legacy single inline form.
+func (r LowerBoundRequest) normalize() (list []Problem, envelope, batch bool) {
+	if len(r.Problems) > 0 {
+		return r.Problems, true, false
+	}
+	if len(r.Batch) > 0 {
+		return r.Batch, false, true
+	}
+	return []Problem{r.Problem}, false, false
+}
+
+// normalize resolves the accepted request shapes to one problem list;
+// envelope reports the v1 {"problems": [...]} form.
+func (r PredictRequest) normalize() (list []PredictProblem, envelope bool) {
+	if len(r.Problems) > 0 {
+		return r.Problems, true
+	}
+	return []PredictProblem{r.PredictProblem}, false
+}
+
+// normalize resolves the accepted request shapes to one problem list:
+// envelope reports the v1 {"problems": [...]} form (collected validation
+// errors, partial-success job result), batch the legacy {"batch": [...]}
+// form, and neither the legacy single inline form.
+func (r SimulateRequest) normalize() (list []Problem, envelope, batch bool) {
+	if len(r.Problems) > 0 {
+		return r.Problems, true, false
+	}
+	if len(r.Batch) > 0 {
+		return r.Batch, false, true
+	}
+	return []Problem{r.Problem}, false, false
+}
+
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	// Error is the human-readable message (the wrapped error chain).
@@ -279,11 +385,20 @@ type HealthResponse struct {
 type VarsResponse struct {
 	// Requests is the number of HTTP requests served (all endpoints).
 	Requests int64 `json:"requests"`
-	// CacheHits and CacheMisses count memo-cache lookups.
+	// CacheHits and CacheMisses count memo-cache lookups; CacheShared
+	// counts lookups satisfied by waiting on a concurrent caller's
+	// in-flight computation (singleflight) — duplicate work avoided.
 	CacheHits   int64 `json:"cacheHits"`
 	CacheMisses int64 `json:"cacheMisses"`
+	CacheShared int64 `json:"cacheShared"`
 	// CacheEntries is the current number of cached values.
 	CacheEntries int `json:"cacheEntries"`
+	// Overloads counts requests refused with 503 by the per-endpoint
+	// concurrency limits.
+	Overloads int64 `json:"overloads"`
+	// PlanPoints counts strong-scaling plan points served (inline and
+	// streamed).
+	PlanPoints int64 `json:"planPoints"`
 	// JobsInFlight is the number of jobs currently executing.
 	JobsInFlight int64 `json:"jobsInFlight"`
 	// JobsTotal is the number of jobs ever accepted.

@@ -8,15 +8,20 @@ import (
 	"repro/internal/core"
 )
 
+// ErrOverloaded is returned when a per-endpoint concurrency limit turns a
+// request away; clients should retry with backoff (the service maps it to
+// 503, like ErrJobQueueFull).
+var ErrOverloaded = errors.New("server overloaded")
+
 // statusFor maps the core error taxonomy onto HTTP status codes,
 // deterministically:
 //
 //	ErrBadDims, ErrBadProcessorCount, ErrTooManyRanks,
-//	ErrBadOpts, ErrBadTopology                   → 400 Bad Request
-//	ErrUnsupportedAlg                            → 404 Not Found
-//	ErrGridMismatch                              → 422 Unprocessable Entity
-//	ErrJobQueueFull                              → 503 Service Unavailable
-//	anything else                                → 500 Internal Server Error
+//	ErrBadOpts, ErrBadTopology, ErrBadPlanRange   → 400 Bad Request
+//	ErrUnsupportedAlg                             → 404 Not Found
+//	ErrGridMismatch                               → 422 Unprocessable Entity
+//	ErrJobQueueFull, ErrOverloaded                → 503 Service Unavailable
+//	anything else                                 → 500 Internal Server Error
 //
 // Malformed JSON never reaches this function; the handlers answer 400 with
 // kind "bad_request" directly.
@@ -26,13 +31,14 @@ func statusFor(err error) int {
 		errors.Is(err, core.ErrBadProcessorCount),
 		errors.Is(err, core.ErrTooManyRanks),
 		errors.Is(err, core.ErrBadOpts),
-		errors.Is(err, core.ErrBadTopology):
+		errors.Is(err, core.ErrBadTopology),
+		errors.Is(err, core.ErrBadPlanRange):
 		return http.StatusBadRequest
 	case errors.Is(err, core.ErrUnsupportedAlg):
 		return http.StatusNotFound
 	case errors.Is(err, core.ErrGridMismatch):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, ErrJobQueueFull):
+	case errors.Is(err, ErrJobQueueFull), errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -52,12 +58,16 @@ func kindFor(err error) string {
 		return "bad_opts"
 	case errors.Is(err, core.ErrBadTopology):
 		return "bad_topology"
+	case errors.Is(err, core.ErrBadPlanRange):
+		return "bad_plan_range"
 	case errors.Is(err, core.ErrUnsupportedAlg):
 		return "unsupported_alg"
 	case errors.Is(err, core.ErrGridMismatch):
 		return "grid_mismatch"
 	case errors.Is(err, ErrJobQueueFull):
 		return "queue_full"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
 	default:
 		return "internal"
 	}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"repro/internal/algs"
 	"repro/internal/core"
@@ -80,7 +82,10 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 		Requests:       s.requests.Load(),
 		CacheHits:      hits,
 		CacheMisses:    misses,
+		CacheShared:    s.cache.Shared(),
 		CacheEntries:   s.cache.Len(),
+		Overloads:      s.overloads.Load(),
+		PlanPoints:     s.planPoints.Load(),
 		JobsInFlight:   s.jobs.InFlight(),
 		JobsTotal:      int(s.jobsTotal.Load()),
 		JobsByState:    byState,
@@ -109,34 +114,63 @@ func (s *Server) lowerBoundOne(p Problem) (LowerBoundResponse, error) {
 	}, nil
 }
 
+// checkBatch bounds a problem-list length against MaxBatch, answering 400
+// itself when it does not fit.
+func (s *Server) checkBatch(w http.ResponseWriter, n int) bool {
+	if n > s.cfg.MaxBatch {
+		writeBadRequest(w, fmt.Sprintf("batch of %d exceeds the limit %d", n, s.cfg.MaxBatch))
+		return false
+	}
+	return true
+}
+
+// envelopeOf evaluates one cheap synchronous computation per problem and
+// folds the outcomes into the unified v1 envelope: failures become indexed
+// errors, the rest partial success.
+func envelopeOf[P, T any](problems []P, eval func(P) (T, error)) Envelope[T] {
+	env := Envelope[T]{Results: make([]*T, len(problems))}
+	for i, p := range problems {
+		res, err := eval(p)
+		if err != nil {
+			env.Errors = append(env.Errors, EnvelopeError{Index: i, Code: kindFor(err), Message: err.Error()})
+			continue
+		}
+		env.Results[i] = &res
+	}
+	return env
+}
+
 func (s *Server) handleLowerBound(w http.ResponseWriter, r *http.Request) {
 	var req LowerBoundRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if len(req.Batch) == 0 {
-		resp, err := s.lowerBoundOne(req.Problem)
+	problems, envelope, batch := req.normalize()
+	if !s.checkBatch(w, len(problems)) {
+		return
+	}
+	switch {
+	case envelope:
+		writeJSON(w, http.StatusOK, envelopeOf(problems, s.lowerBoundOne))
+	case batch:
+		out := BatchLowerBoundResponse{Results: make([]LowerBoundResponse, len(problems))}
+		for i, p := range problems {
+			resp, err := s.lowerBoundOne(p)
+			if err != nil {
+				writeError(w, fmt.Errorf("batch[%d]: %w", i, err))
+				return
+			}
+			out.Results[i] = resp
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		resp, err := s.lowerBoundOne(problems[0])
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
-		return
 	}
-	if len(req.Batch) > s.cfg.MaxBatch {
-		writeBadRequest(w, fmt.Sprintf("batch of %d exceeds the limit %d", len(req.Batch), s.cfg.MaxBatch))
-		return
-	}
-	out := BatchLowerBoundResponse{Results: make([]LowerBoundResponse, len(req.Batch))}
-	for i, p := range req.Batch {
-		resp, err := s.lowerBoundOne(p)
-		if err != nil {
-			writeError(w, fmt.Errorf("batch[%d]: %w", i, err))
-			return
-		}
-		out.Results[i] = resp
-	}
-	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
@@ -200,74 +234,75 @@ func (s *Server) optimalUnderMemory(d core.Dims, p int, mem float64) (grid.Grid,
 	return r.g, r.ok
 }
 
+// predictOne answers one prediction instance from the memo layer.
+func (s *Server) predictOne(pp PredictProblem) (PredictResponse, error) {
+	d, err := parseProblem(pp.Problem)
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	var g grid.Grid
+	if pp.Grid != nil {
+		g = grid.Grid{P1: pp.Grid.P1, P2: pp.Grid.P2, P3: pp.Grid.P3}
+		if err := g.Validate(); err != nil {
+			return PredictResponse{}, err
+		}
+		if g.Size() != pp.P {
+			return PredictResponse{}, fmt.Errorf("service: grid %v has %d processors, want %d: %w",
+				g, g.Size(), pp.P, core.ErrGridMismatch)
+		}
+	} else {
+		if err := s.checkSearchP(pp.P); err != nil {
+			return PredictResponse{}, err
+		}
+		g = s.optimalGrid(d, pp.P)
+	}
+	cfg := machine.Config{Alpha: pp.Alpha, Beta: pp.Beta, Gamma: pp.Gamma}
+	resp := PredictResponse{
+		Problem: pp.Problem,
+		Grid:    GridJSON{g.P1, g.P2, g.P3},
+	}
+	if pp.Topology != nil {
+		fabric, pol, err := parseTopology(pp.Topology, pp.P, topo.Link{Alpha: cfg.Alpha, Beta: cfg.Beta})
+		if err != nil {
+			return PredictResponse{}, err
+		}
+		pred, err := s.predictTopo(d, g, cfg, fabric, pol)
+		if err != nil {
+			return PredictResponse{}, err
+		}
+		resp.Total = pred.Total()
+		resp.Compute, resp.Bandwidth, resp.Latency = pred.Compute, pred.Bandwidth, pred.Latency
+		resp.Words, resp.Messages = pred.Words, pred.Messages
+		resp.Topology, resp.Placement = pred.Topology, pred.Placement
+		resp.FlatTotal, resp.Slowdown = pred.FlatTotal, pred.Slowdown
+		return resp, nil
+	}
+	pred := s.predict(d, g, cfg)
+	resp.Total = pred.Total()
+	resp.Compute, resp.Bandwidth, resp.Latency = pred.Compute, pred.Bandwidth, pred.Latency
+	resp.Words, resp.Messages = pred.Words, pred.Messages
+	return resp, nil
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req PredictRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	d, err := parseProblem(req.Problem)
+	problems, envelope := req.normalize()
+	if !s.checkBatch(w, len(problems)) {
+		return
+	}
+	if envelope {
+		writeJSON(w, http.StatusOK, envelopeOf(problems, s.predictOne))
+		return
+	}
+	resp, err := s.predictOne(problems[0])
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	var g grid.Grid
-	if req.Grid != nil {
-		g = grid.Grid{P1: req.Grid.P1, P2: req.Grid.P2, P3: req.Grid.P3}
-		if err := g.Validate(); err != nil {
-			writeError(w, err)
-			return
-		}
-		if g.Size() != req.P {
-			writeError(w, fmt.Errorf("service: grid %v has %d processors, want %d: %w",
-				g, g.Size(), req.P, core.ErrGridMismatch))
-			return
-		}
-	} else {
-		if err := s.checkSearchP(req.P); err != nil {
-			writeError(w, err)
-			return
-		}
-		g = s.optimalGrid(d, req.P)
-	}
-	cfg := machine.Config{Alpha: req.Alpha, Beta: req.Beta, Gamma: req.Gamma}
-	if req.Topology != nil {
-		fabric, pol, err := parseTopology(req.Topology, req.P, topo.Link{Alpha: cfg.Alpha, Beta: cfg.Beta})
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		pred, err := s.predictTopo(d, g, cfg, fabric, pol)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, PredictResponse{
-			Problem:   req.Problem,
-			Grid:      GridJSON{g.P1, g.P2, g.P3},
-			Total:     pred.Total(),
-			Compute:   pred.Compute,
-			Bandwidth: pred.Bandwidth,
-			Latency:   pred.Latency,
-			Words:     pred.Words,
-			Messages:  pred.Messages,
-			Topology:  pred.Topology,
-			Placement: pred.Placement,
-			FlatTotal: pred.FlatTotal,
-			Slowdown:  pred.Slowdown,
-		})
-		return
-	}
-	pred := s.predict(d, g, cfg)
-	writeJSON(w, http.StatusOK, PredictResponse{
-		Problem:   req.Problem,
-		Grid:      GridJSON{g.P1, g.P2, g.P3},
-		Total:     pred.Total(),
-		Compute:   pred.Compute,
-		Bandwidth: pred.Bandwidth,
-		Latency:   pred.Latency,
-		Words:     pred.Words,
-		Messages:  pred.Messages,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // checkSimProblem validates one simulation instance against the
@@ -312,13 +347,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	problems := req.Batch
-	batch := len(problems) > 0
-	if !batch {
-		problems = []Problem{req.Problem}
-	}
-	if len(problems) > s.cfg.MaxBatch {
-		writeBadRequest(w, fmt.Sprintf("batch of %d exceeds the limit %d", len(problems), s.cfg.MaxBatch))
+	problems, envelope, batch := req.normalize()
+	if !s.checkBatch(w, len(problems)) {
 		return
 	}
 	engine, err := machine.ParseEngine(req.Engine)
@@ -343,22 +373,64 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// Validate everything synchronously so taxonomy errors come back on
 	// the submit, not buried in a failed job. The topology spec is sized
 	// against each problem's own P, so in a batch it must fit every entry.
+	// The envelope form collects every bad index before refusing; the
+	// legacy forms keep their first-error behavior.
+	var envErrs []EnvelopeError
 	for i, p := range problems {
 		_, err := s.checkSimProblem(p, engine)
 		if err == nil && req.Topology != nil {
 			_, _, err = parseTopology(req.Topology, p.P,
 				topo.Link{Alpha: opts.Config.Alpha, Beta: opts.Config.Beta})
 		}
-		if err != nil {
-			if batch {
-				err = fmt.Errorf("batch[%d]: %w", i, err)
-			}
-			writeError(w, err)
-			return
+		if err == nil {
+			continue
 		}
+		if envelope {
+			envErrs = append(envErrs, EnvelopeError{Index: i, Code: kindFor(err), Message: err.Error()})
+			continue
+		}
+		if batch {
+			err = fmt.Errorf("batch[%d]: %w", i, err)
+		}
+		writeError(w, err)
+		return
+	}
+	if len(envErrs) > 0 {
+		writeJSON(w, http.StatusBadRequest, Envelope[SimulateResult]{
+			Results: make([]*SimulateResult, len(problems)),
+			Errors:  envErrs,
+		})
+		return
 	}
 
 	id, err := s.jobs.Submit(func(ctx context.Context) (any, error) {
+		if envelope {
+			// Partial success: each problem's failure is recorded at its
+			// index; only cancellation aborts the whole job.
+			type outcome struct {
+				res SimulateResult
+				err error
+			}
+			outcomes, err := experiments.MapContext(ctx, len(problems), func(i int) (outcome, error) {
+				res, err := s.simulateOne(ctx, entry, problems[i], req, opts)
+				if err != nil && ctx.Err() != nil {
+					return outcome{}, err
+				}
+				return outcome{res, err}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			env := Envelope[SimulateResult]{Results: make([]*SimulateResult, len(problems))}
+			for i := range outcomes {
+				if e := outcomes[i].err; e != nil {
+					env.Errors = append(env.Errors, EnvelopeError{Index: i, Code: kindFor(e), Message: e.Error()})
+					continue
+				}
+				env.Results[i] = &outcomes[i].res
+			}
+			return env, nil
+		}
 		results, err := experiments.MapContext(ctx, len(problems), func(i int) (SimulateResult, error) {
 			return s.simulateOne(ctx, entry, problems[i], req, opts)
 		})
@@ -427,6 +499,50 @@ func (s *Server) simulateOne(ctx context.Context, entry algs.Entry, p Problem, r
 	}
 	s.addWordsSimulated(res.Stats.TotalWordsSent)
 	return out, nil
+}
+
+// handleJobList serves GET /v1/jobs?state=&limit=&cursor=: jobs in
+// submission order, filtered by state, paginated by an opaque cursor (the
+// last job id of the previous page).
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := JobStatus(q.Get("state"))
+	switch state {
+	case "", JobQueued, JobRunning, JobDone, JobFailed, JobCancelled:
+	default:
+		writeBadRequest(w, fmt.Sprintf("unknown state %q (valid: queued, running, done, failed, cancelled)", state))
+		return
+	}
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeBadRequest(w, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	if limit > 1000 {
+		limit = 1000
+	}
+	var after int64
+	if v := q.Get("cursor"); v != "" {
+		n, err := strconv.ParseInt(strings.TrimPrefix(v, "j"), 10, 64)
+		if err != nil || !strings.HasPrefix(v, "j") || n < 1 {
+			writeBadRequest(w, "cursor must be a nextCursor value from a previous page")
+			return
+		}
+		after = n
+	}
+	items, next := s.jobs.List(state, after, limit)
+	resp := JobListResponse{Jobs: make([]JobListItem, len(items))}
+	for i, it := range items {
+		resp.Jobs[i] = JobListItem{ID: it.ID, Status: string(it.Status), Created: it.Created.UTC()}
+	}
+	if next > 0 {
+		resp.NextCursor = fmt.Sprintf("j%d", next)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

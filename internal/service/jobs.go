@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,7 @@ var ErrRunnerClosed = errors.New("job runner closed")
 // guarded by the owning runner's mutex; read them through Snapshot.
 type Job struct {
 	id       string
+	num      int64 // monotone submit sequence; the listing cursor orders by it
 	status   JobStatus
 	result   any
 	err      error
@@ -229,8 +231,9 @@ func (r *Runner) Submit(fn JobFunc) (string, error) {
 		return "", ErrRunnerClosed
 	}
 	r.evictLocked(time.Now())
-	id := fmt.Sprintf("j%d", r.nextID.Add(1))
-	j := &Job{id: id, status: JobQueued, done: make(chan struct{}), created: time.Now()}
+	num := r.nextID.Add(1)
+	id := fmt.Sprintf("j%d", num)
+	j := &Job{id: id, num: num, status: JobQueued, done: make(chan struct{}), created: time.Now()}
 	select {
 	case r.queue <- j:
 	default:
@@ -364,6 +367,50 @@ func (r *Runner) Counts() map[JobStatus]int {
 		out[j.status]++
 	}
 	return out
+}
+
+// JobInfo is one row of a job listing: identity, lifecycle state, and
+// submission time.
+type JobInfo struct {
+	ID      string
+	Num     int64
+	Status  JobStatus
+	Created time.Time
+}
+
+// List returns up to limit jobs in submission order, optionally filtered
+// by state ("" matches every state), starting after the given sequence
+// number (0 starts from the beginning — pass the Num of the last row seen
+// to continue). next is the cursor for the following page, or 0 when this
+// page exhausted the listing. limit ≤ 0 selects 100. The retention policy
+// is applied first, so evicted jobs never appear.
+func (r *Runner) List(state JobStatus, after int64, limit int) (items []JobInfo, next int64) {
+	if limit <= 0 {
+		limit = 100
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evictLocked(time.Now())
+	sel := make([]*Job, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		if j.num <= after || (state != "" && j.status != state) {
+			continue
+		}
+		sel = append(sel, j)
+	}
+	sort.Slice(sel, func(a, b int) bool { return sel[a].num < sel[b].num })
+	more := len(sel) > limit
+	if more {
+		sel = sel[:limit]
+	}
+	items = make([]JobInfo, len(sel))
+	for i, j := range sel {
+		items[i] = JobInfo{ID: j.id, Num: j.num, Status: j.status, Created: j.created}
+	}
+	if more {
+		next = sel[len(sel)-1].num
+	}
+	return items, next
 }
 
 // Evicted returns the cumulative number of jobs removed by the retention

@@ -280,6 +280,57 @@ func TestRunnerJanitorEvicts(t *testing.T) {
 	}
 }
 
+// TestRunnerList: the listing walks jobs in submission order with a
+// sequence-number cursor and an optional state filter.
+func TestRunnerList(t *testing.T) {
+	r := NewRunnerConfig(RunnerConfig{Workers: 1, Retention: -1})
+	defer r.Shutdown(context.Background())
+	ids := make([]string, 5)
+	for i := range ids {
+		ids[i] = submitAndWait(t, r, i)
+	}
+	boom := errors.New("boom")
+	fid, _ := r.Submit(func(context.Context) (any, error) { return nil, boom })
+	waitStatus(t, r, fid)
+
+	items, next := r.List("", 0, 0)
+	if len(items) != 6 || next != 0 {
+		t.Fatalf("List all = %d items, next %d; want 6, 0", len(items), next)
+	}
+	for i, it := range items[:5] {
+		if it.ID != ids[i] || it.Status != JobDone || it.Created.IsZero() {
+			t.Fatalf("items[%d] = %+v, want %s done", i, it, ids[i])
+		}
+	}
+
+	// Pagination: two pages of 2 carry a cursor, and resuming from it
+	// continues without gap or overlap.
+	var walked []string
+	var after int64
+	for {
+		page, n := r.List("", after, 2)
+		for _, it := range page {
+			walked = append(walked, it.ID)
+		}
+		if n == 0 {
+			break
+		}
+		after = n
+	}
+	if len(walked) != 6 || walked[0] != ids[0] || walked[5] != fid {
+		t.Fatalf("cursor walk = %v", walked)
+	}
+
+	failed, _ := r.List(JobFailed, 0, 0)
+	if len(failed) != 1 || failed[0].ID != fid {
+		t.Fatalf("List(failed) = %+v", failed)
+	}
+	done, _ := r.List(JobDone, 0, 0)
+	if len(done) != 5 {
+		t.Fatalf("List(done) = %d items", len(done))
+	}
+}
+
 // TestRunnerCountsByState: Counts tracks the lifecycle states of the
 // remembered jobs.
 func TestRunnerCountsByState(t *testing.T) {

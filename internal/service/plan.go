@@ -1,0 +1,255 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/plan"
+)
+
+// POST /v1/plan — the strong-scaling planner. The request uses the v1
+// envelope from day one: {"problems": [...]} with per-problem P ranges.
+// Small plans (total points ≤ Config.PlanInlineLimit) answer one inline
+// JSON envelope; larger plans stream NDJSON rows — per problem a summary
+// row, then one row per point in P order, flushed chunk by chunk so a
+// 10⁵-point range holds neither the connection's buffer nor the full
+// result in memory. "stream" forces either mode.
+//
+// Validation is all-or-nothing: every problem is vetted before any point
+// is computed, and a request with invalid problems answers 400 carrying
+// one envelope error per bad problem. Runtime failures after that (e.g. a
+// fabric outgrowing the per-pair charge tables mid-range) surface as an
+// error row (streaming) or an envelope error (inline) for that problem
+// only. Per-point results are memoized under range-independent keys, so
+// overlapping ranges and repeated plans share work; concurrent identical
+// requests collapse to one computation per point (singleflight).
+
+// PlanProblem is one planning problem: shape, per-rank memory, machine,
+// optional topology, and the P range to sweep.
+type PlanProblem struct {
+	// N1, N2, N3 are the matrix dimensions (A is N1×N2, B is N2×N3).
+	N1 int `json:"n1"`
+	N2 int `json:"n2"`
+	N3 int `json:"n3"`
+	// Mem is the local memory per processor in words.
+	Mem float64 `json:"mem"`
+	// PMin and PMax bound the processor range, inclusive.
+	PMin int `json:"pMin"`
+	PMax int `json:"pMax"`
+	// PStep is the linear stride (default 1); Log2 sweeps PMin, 2·PMin, …
+	// instead.
+	PStep int  `json:"pStep,omitempty"`
+	Log2  bool `json:"log2,omitempty"`
+	// Alpha, Beta, Gamma set the α-β-γ machine; all zero selects the
+	// bandwidth-only model, so times read directly in words.
+	Alpha float64 `json:"alpha,omitempty"`
+	Beta  float64 `json:"beta,omitempty"`
+	Gamma float64 `json:"gamma,omitempty"`
+	// Topology, when present, prices every point on that fabric. Only
+	// size-flexible specs (flat, twolevel=g) can span a multi-point range.
+	Topology *TopologyJSON `json:"topology,omitempty"`
+}
+
+// PlanRequest is the body of POST /v1/plan.
+type PlanRequest struct {
+	// Problems lists the plans to compute.
+	Problems []PlanProblem `json:"problems"`
+	// Stream forces the response mode: true streams NDJSON regardless of
+	// size, false forces one inline envelope (still subject to
+	// MaxPlanPoints). Absent, the server picks by total point count.
+	Stream *bool `json:"stream,omitempty"`
+}
+
+// PlanResult is one problem's full plan in the inline envelope.
+type PlanResult struct {
+	// Summary is the range-level analysis (crossover, boundaries, floor).
+	Summary plan.Summary `json:"summary"`
+	// Points are the per-P rows in P order.
+	Points []plan.Point `json:"points"`
+}
+
+// PlanEnvelope is the inline response: the unified v1 envelope over
+// PlanResult (results[i] answers problems[i], null when that problem
+// failed; its failure is in errors).
+type PlanEnvelope = Envelope[PlanResult]
+
+// PlanRow is one line of the NDJSON stream. Exactly one of Summary,
+// Point, and Error is set, except the final row, which sets only Done.
+// Problem indexes into the request's problems list.
+type PlanRow struct {
+	Problem int            `json:"problem"`
+	Summary *plan.Summary  `json:"summary,omitempty"`
+	Point   *plan.Point    `json:"point,omitempty"`
+	Error   *EnvelopeError `json:"error,omitempty"`
+	// Done marks the final row; a stream without it was cut short.
+	Done bool `json:"done,omitempty"`
+}
+
+// planChunk is the streaming fan-out granularity: points per
+// MapChunksContext chunk, and therefore per flush.
+const planChunk = 256
+
+// planRequest converts the wire problem into the plan package's request,
+// attaching the server's point budget.
+func (s *Server) planRequest(p PlanProblem) plan.Request {
+	req := plan.Request{
+		Dims: core.NewDims(p.N1, p.N2, p.N3),
+		Mem:  p.Mem,
+		PMin: p.PMin, PMax: p.PMax, PStep: p.PStep, Log2: p.Log2,
+		Config:    machine.Config{Alpha: p.Alpha, Beta: p.Beta, Gamma: p.Gamma},
+		MaxPoints: s.cfg.MaxPlanPoints,
+	}
+	if p.Topology != nil {
+		req.TopoSpec = p.Topology.Spec
+		req.Place = p.Topology.Place
+	}
+	return req
+}
+
+// planPointResult caches one plan point, error included (a fabric that
+// cannot be built at some P fails identically every time).
+type planPointResult struct {
+	pt  plan.Point
+	err error
+}
+
+// planner returns a planner whose points go through the memo cache with
+// singleflight, under the "pp:" namespace.
+func (s *Server) planner() plan.Planner {
+	return plan.Planner{PointMemo: func(key string, compute func() (plan.Point, error)) (plan.Point, error) {
+		r := s.cache.GetOrCompute("pp:"+key, func() any {
+			pt, err := compute()
+			return planPointResult{pt: pt, err: err}
+		}).(planPointResult)
+		return r.pt, r.err
+	}}
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Problems) == 0 {
+		writeBadRequest(w, `plan request needs a non-empty "problems" list`)
+		return
+	}
+	if len(req.Problems) > s.cfg.MaxBatch {
+		writeBadRequest(w, fmt.Sprintf("batch of %d exceeds the limit %d", len(req.Problems), s.cfg.MaxBatch))
+		return
+	}
+	reqs := make([]plan.Request, len(req.Problems))
+	var errs []EnvelopeError
+	total := 0
+	for i, p := range req.Problems {
+		reqs[i] = s.planRequest(p)
+		err := reqs[i].Validate()
+		if err == nil {
+			err = s.checkSearchP(p.PMax)
+		}
+		if err != nil {
+			errs = append(errs, EnvelopeError{Index: i, Code: kindFor(err), Message: err.Error()})
+			continue
+		}
+		total += reqs[i].Points()
+	}
+	if len(errs) > 0 {
+		// All-or-nothing: a malformed problem fails the whole request
+		// before any sweeping starts — plans are the service's most
+		// expensive synchronous work, and the envelope tells the client
+		// exactly which entries to fix.
+		writeJSON(w, http.StatusBadRequest, PlanEnvelope{
+			Results: make([]*PlanResult, len(req.Problems)),
+			Errors:  errs,
+		})
+		return
+	}
+	stream := total > s.cfg.PlanInlineLimit
+	if req.Stream != nil {
+		stream = *req.Stream
+	}
+	if stream {
+		s.streamPlan(w, r, reqs)
+		return
+	}
+	s.inlinePlan(w, r, reqs)
+}
+
+// inlinePlan evaluates every problem and answers one envelope. Runtime
+// failures are partial: the envelope carries the successes plus one error
+// per failed problem, under 200 (validation already passed; what failed
+// is the computation, not the request).
+func (s *Server) inlinePlan(w http.ResponseWriter, r *http.Request, reqs []plan.Request) {
+	pl := s.planner()
+	env := PlanEnvelope{Results: make([]*PlanResult, len(reqs))}
+	for i, pr := range reqs {
+		sum, pts, err := pl.Run(r.Context(), pr)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client gone; nobody to answer
+			}
+			env.Errors = append(env.Errors, EnvelopeError{Index: i, Code: kindFor(err), Message: err.Error()})
+			continue
+		}
+		s.planPoints.Add(int64(len(pts)))
+		env.Results[i] = &PlanResult{Summary: sum, Points: pts}
+	}
+	writeJSON(w, http.StatusOK, env)
+}
+
+// streamPlan writes the NDJSON stream: per problem a summary row then its
+// point rows in P order, flushed every planChunk points so the client
+// reads progress while later chunks are still computing and the server
+// never buffers more than one chunk per problem. An encode failure (the
+// client hung up) or context cancellation aborts the sweep — the emit
+// error/ctx paths stop pool workers from claiming further points.
+func (s *Server) streamPlan(w http.ResponseWriter, r *http.Request, reqs []plan.Request) {
+	ctx := r.Context()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	pl := s.planner()
+	for i, pr := range reqs {
+		sum, err := plan.Summarize(pr)
+		if err == nil {
+			if err = enc.Encode(PlanRow{Problem: i, Summary: &sum}); err != nil {
+				return
+			}
+			flush()
+			n := 0
+			_, err = pl.Sweep(ctx, pr, planChunk, func(chunk []plan.Point) error {
+				for j := range chunk {
+					if encErr := enc.Encode(PlanRow{Problem: i, Point: &chunk[j]}); encErr != nil {
+						return encErr
+					}
+				}
+				n += len(chunk)
+				flush()
+				return nil
+			})
+			s.planPoints.Add(int64(n))
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return // client cancelled; the truncated stream says it all
+			}
+			ee := EnvelopeError{Index: i, Code: kindFor(err), Message: err.Error()}
+			if encErr := enc.Encode(PlanRow{Problem: i, Error: &ee}); encErr != nil {
+				return
+			}
+			flush()
+		}
+	}
+	_ = enc.Encode(PlanRow{Done: true})
+	flush()
+}

@@ -50,6 +50,23 @@ type Config struct {
 	// MaxBatch bounds the batch length of batch requests; ≤ 0 selects
 	// 1024.
 	MaxBatch int
+	// MaxPlanPoints caps how many points a single /v1/plan problem's P
+	// range may expand to; ≤ 0 selects 1 << 20. Oversize ranges answer 400
+	// with kind "bad_plan_range".
+	MaxPlanPoints int
+	// PlanInlineLimit is the total point count up to which /v1/plan
+	// answers with one inline JSON envelope; larger plans stream NDJSON.
+	// ≤ 0 selects 512.
+	PlanInlineLimit int
+	// PlanConcurrency caps concurrently executing /v1/plan requests; the
+	// excess answers 503 with kind "overloaded" immediately (plans are
+	// long-lived streams, so queueing them would hold connections). ≤ 0
+	// selects 4.
+	PlanConcurrency int
+	// ComputeConcurrency caps concurrently executing synchronous compute
+	// requests (/v1/lowerbound, /v1/grid, /v1/predict) the same way; ≤ 0
+	// selects 256.
+	ComputeConcurrency int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ so simulator
 	// hotspots are profilable in production. Off by default: the profile
 	// endpoints expose internals and can themselves burn CPU, so they are
@@ -101,8 +118,38 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 1024
 	}
+	if c.MaxPlanPoints <= 0 {
+		c.MaxPlanPoints = 1 << 20
+	}
+	if c.PlanInlineLimit <= 0 {
+		c.PlanInlineLimit = 512
+	}
+	if c.PlanConcurrency <= 0 {
+		c.PlanConcurrency = 4
+	}
+	if c.ComputeConcurrency <= 0 {
+		c.ComputeConcurrency = 256
+	}
 	return c
 }
+
+// limiter is a non-blocking concurrency gate: acquire fails immediately at
+// the cap so the caller can answer 503 instead of queueing work the client
+// may no longer be waiting for.
+type limiter chan struct{}
+
+func newLimiter(n int) limiter { return make(limiter, n) }
+
+func (l limiter) acquire() bool {
+	select {
+	case l <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l limiter) release() { <-l }
 
 // Server is the parmmd HTTP service: the v1 API over the lower-bound
 // calculator, grid selector, runtime model, and simulator, with the memo
@@ -121,6 +168,14 @@ type Server struct {
 	// process-wide obs.Default carrying the simulator counters.
 	reg     *obs.Registry
 	latency map[string]*obs.Histogram // request-duration histograms by route pattern
+
+	// planLimit and computeLimit are the per-endpoint-group concurrency
+	// gates; overloads counts requests they turned away with 503.
+	planLimit    limiter
+	computeLimit limiter
+	overloads    atomic.Int64
+	// planPoints counts plan points served (inline and streamed).
+	planPoints atomic.Int64
 
 	requests  atomic.Int64
 	reqID     atomic.Int64
@@ -143,7 +198,9 @@ func New(cfg Config) *Server {
 			Retention:   cfg.JobRetention,
 			MaxRetained: cfg.MaxJobsRetained,
 		}),
-		reg: obs.NewRegistry(),
+		reg:          obs.NewRegistry(),
+		planLimit:    newLimiter(cfg.PlanConcurrency),
+		computeLimit: newLimiter(cfg.ComputeConcurrency),
 	}
 	if cfg.AccessLog != nil {
 		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
@@ -152,10 +209,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
-	s.mux.HandleFunc("POST /v1/lowerbound", s.handleLowerBound)
-	s.mux.HandleFunc("POST /v1/grid", s.handleGrid)
-	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/lowerbound", s.limited(s.computeLimit, s.handleLowerBound))
+	s.mux.HandleFunc("POST /v1/grid", s.limited(s.computeLimit, s.handleGrid))
+	s.mux.HandleFunc("POST /v1/predict", s.limited(s.computeLimit, s.handlePredict))
+	s.mux.HandleFunc("POST /v1/plan", s.limited(s.planLimit, s.handlePlan))
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	if cfg.EnablePprof {
@@ -167,6 +226,24 @@ func New(cfg Config) *Server {
 	}
 	s.registerMetrics()
 	return s
+}
+
+// limited wraps a handler behind a concurrency gate: at the cap the
+// request is refused with 503 "overloaded" before any body is read.
+// /v1/simulate needs no gate — its work runs on the bounded job pool
+// behind the queue-full 503 — but synchronous endpoints execute on the
+// request goroutine, so without a cap a traffic burst would run unbounded
+// divisor searches concurrently.
+func (s *Server) limited(l limiter, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !l.acquire() {
+			s.overloads.Add(1)
+			writeError(w, ErrOverloaded)
+			return
+		}
+		defer l.release()
+		h(w, r)
+	}
 }
 
 // registerMetrics builds the server's metric families. Cheap live values
@@ -183,6 +260,15 @@ func (s *Server) registerMetrics() {
 	s.reg.CounterFunc("service_cache_misses_total",
 		"Memo-cache lookups that had to compute.",
 		func() float64 { _, m := s.cache.Stats(); return float64(m) })
+	s.reg.CounterFunc("service_cache_shared_total",
+		"Memo-cache lookups satisfied by a concurrent caller's in-flight computation (singleflight).",
+		func() float64 { return float64(s.cache.Shared()) })
+	s.reg.CounterFunc("service_overloads_total",
+		"Requests refused with 503 by the per-endpoint concurrency limits.",
+		func() float64 { return float64(s.overloads.Load()) })
+	s.reg.CounterFunc("service_plan_points_total",
+		"Strong-scaling plan points served (inline and streamed).",
+		func() float64 { return float64(s.planPoints.Load()) })
 	s.reg.GaugeFunc("service_cache_entries",
 		"Current memo-cache entries.",
 		func() float64 { return float64(s.cache.Len()) })
@@ -210,7 +296,8 @@ func (s *Server) registerMetrics() {
 	for _, pattern := range []string{
 		"GET /healthz", "GET /metrics", "GET /debug/vars",
 		"POST /v1/lowerbound", "POST /v1/grid", "POST /v1/predict",
-		"POST /v1/simulate", "GET /v1/jobs/{id}", "DELETE /v1/jobs/{id}",
+		"POST /v1/plan", "POST /v1/simulate",
+		"GET /v1/jobs", "GET /v1/jobs/{id}", "DELETE /v1/jobs/{id}",
 		"other",
 	} {
 		s.latency[pattern] = s.reg.Histogram("service_request_seconds",
@@ -236,6 +323,16 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	n, err := r.ResponseWriter.Write(b)
 	r.bytes += int64(n)
 	return n, err
+}
+
+// Flush forwards to the underlying writer so NDJSON streaming flushes
+// through the access-log wrapper (embedding alone would hide the
+// interface: the wrapped method set does not satisfy http.Flusher
+// dynamically when r.ResponseWriter does).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // Handler returns the root handler; mount it on an http.Server or

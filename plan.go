@@ -1,0 +1,51 @@
+package parmm
+
+import (
+	"context"
+
+	"repro/internal/plan"
+)
+
+// --- §6.2 strong-scaling planner ---
+
+// PlanRequest describes a strong-scaling plan: a problem shape, a per-rank
+// memory budget in words, and the processor range to evaluate (linear with
+// PStep, or geometric with Log2). The zero Config means BandwidthOnly, so
+// points read directly in words; TopoSpec optionally prices every point on
+// a concrete interconnect.
+type PlanRequest = plan.Request
+
+// PlanPoint is the plan for one processor count: the Theorem 3 regime and
+// bound, the memory-dependent bound and which of the two binds, the
+// cheapest grid fitting in memory (when one exists), the predicted
+// Algorithm 1 time, and the derived speedup and efficiency.
+type PlanPoint = plan.Point
+
+// PlanSummary is the range-level analysis computed once per plan: the
+// Theorem 3 case boundaries, the memory floor P, and the §6.2 crossover
+// P = (8/27)·mnk/M^{3/2} — both the analytic value and the first swept P
+// that witnesses the memory-dependent→independent switch.
+type PlanSummary = plan.Summary
+
+// Plan evaluates the whole strong-scaling plan and returns the summary and
+// every point in P order. The sweep honors ctx; large ranges stream in
+// bounded memory through PlanSweep instead.
+func Plan(ctx context.Context, req PlanRequest) (PlanSummary, []PlanPoint, error) {
+	return plan.Run(ctx, req)
+}
+
+// PlanSweep evaluates the plan in chunks of chunk points (≤ 0 selects a
+// default), calling emit with each completed chunk in index order before
+// the next chunk starts, so a 10⁵-point range runs in bounded memory. The
+// returned summary is computed up front and is valid even when the sweep is
+// cancelled mid-range; an emit error aborts the sweep with that error.
+func PlanSweep(ctx context.Context, req PlanRequest, chunk int, emit func([]PlanPoint) error) (PlanSummary, error) {
+	return plan.Planner{}.Sweep(ctx, req, chunk, emit)
+}
+
+// PlanSummarize validates req and returns only its range-level analysis,
+// without evaluating any point — the cheap way to locate the crossover and
+// the memory floor before committing to a sweep.
+func PlanSummarize(req PlanRequest) (PlanSummary, error) {
+	return plan.Summarize(req)
+}

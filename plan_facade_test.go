@@ -1,0 +1,87 @@
+package parmm
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestPlanFacade drives the §6.2 planner through the public API on the
+// pinned rectangular example: m=9600, n=2400, k=600, M=40000 words gives
+// mnk/M^{3/2} = 1728 and so CrossoverP = (8/27)·1728 = 512 exactly.
+func TestPlanFacade(t *testing.T) {
+	req := PlanRequest{
+		Dims: NewDims(9600, 2400, 600),
+		Mem:  40000,
+		PMin: 64, PMax: 1024, Log2: true,
+	}
+	sum, pts, err := Plan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.CrossoverP-512) > 512*1e-12 {
+		t.Errorf("CrossoverP = %v, want 512", sum.CrossoverP)
+	}
+	// At P = 512 the two bounds tie exactly and the tie counts as
+	// memory-dependent, so the first strictly memory-independent swept
+	// point is the next one, P = 1024.
+	if !sum.CrossoverInRange || sum.ObservedCrossoverP != 1024 {
+		t.Errorf("crossover: inRange=%v observed=%d, want true/1024", sum.CrossoverInRange, sum.ObservedCrossoverP)
+	}
+	if len(pts) != 5 || sum.Points != 5 {
+		t.Fatalf("points = %d (summary %d), want 5", len(pts), sum.Points)
+	}
+	for i, pt := range pts {
+		if want := 64 << i; pt.P != want {
+			t.Fatalf("pts[%d].P = %d, want %d", i, pt.P, want)
+		}
+		// Each point's bound columns agree with the scalar calculator.
+		if pt.Bound != LowerBound(req.Dims, pt.P) {
+			t.Errorf("P=%d: Bound = %v, want %v", pt.P, pt.Bound, LowerBound(req.Dims, pt.P))
+		}
+		if want := MemoryDependentLowerBound(req.Dims, pt.P, req.Mem); pt.MemBound != want {
+			t.Errorf("P=%d: MemBound = %v, want %v", pt.P, pt.MemBound, want)
+		}
+		if pt.MemoryDependent != (pt.P <= 512) {
+			t.Errorf("P=%d: MemoryDependent = %v", pt.P, pt.MemoryDependent)
+		}
+	}
+	if lim := StrongScalingLimit(req.Dims, req.Mem); math.Abs(lim-sum.CrossoverP) > 1e-9 {
+		t.Errorf("StrongScalingLimit = %v, CrossoverP = %v", lim, sum.CrossoverP)
+	}
+
+	// PlanSweep streams the identical points in order, and PlanSummarize
+	// reproduces the summary without evaluating any of them.
+	var streamed []PlanPoint
+	sum2, err := PlanSweep(context.Background(), req, 2, func(chunk []PlanPoint) error {
+		streamed = append(streamed, chunk...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sum2, sum) || !reflect.DeepEqual(streamed, pts) {
+		t.Error("PlanSweep diverges from Plan")
+	}
+	if sum3, err := PlanSummarize(req); err != nil || !reflect.DeepEqual(sum3, sum) {
+		t.Errorf("PlanSummarize = %+v, %v", sum3, err)
+	}
+}
+
+// TestPlanFacadeErrors pins ErrBadPlanRange in the errors.Is taxonomy.
+func TestPlanFacadeErrors(t *testing.T) {
+	for name, req := range map[string]PlanRequest{
+		"inverted range": {Dims: NewDims(64, 64, 64), Mem: 1e6, PMin: 16, PMax: 4},
+		"bad memory":     {Dims: NewDims(64, 64, 64), Mem: 0, PMin: 1, PMax: 4},
+		"over budget":    {Dims: NewDims(64, 64, 64), Mem: 1e6, PMin: 1, PMax: 100, MaxPoints: 10},
+	} {
+		if _, _, err := Plan(context.Background(), req); !errors.Is(err, ErrBadPlanRange) {
+			t.Errorf("%s: err = %v, want ErrBadPlanRange", name, err)
+		}
+	}
+	if _, _, err := Plan(context.Background(), PlanRequest{Dims: NewDims(0, 1, 1), Mem: 1, PMin: 1, PMax: 1}); !errors.Is(err, ErrBadDims) {
+		t.Errorf("bad dims: err = %v, want ErrBadDims", err)
+	}
+}
