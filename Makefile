@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-engines bench-serving paper
+.PHONY: build test race bench-engines bench-serving bench-topo paper
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,13 @@ bench-engines:
 # parmmd; see "Planner & serving levers" in DESIGN.md.
 bench-serving:
 	$(GO) run ./cmd/loadgen -duration 15s -clients 8 -out BENCH_serving.json
+
+# Record topology charge-oracle construction time and Charge throughput
+# per fabric (P = 1024, 4096, 65536; table mode below 2048 ranks, O(hops)
+# walk mode above) to BENCH_topo_scaling.json; see "Topology at scale" in
+# DESIGN.md.
+bench-topo:
+	$(GO) run ./cmd/benchrec -topo -out BENCH_topo_scaling.json
 
 paper:
 	$(GO) run ./cmd/paper

@@ -10,6 +10,11 @@
 //	    prints wall time and totals — the CI smoke proving a million-rank
 //	    world fits and finishes.
 //
+//	benchrec -topo [-out BENCH_topo_scaling.json] [-p 1024,4096,65536]
+//	    records topology charge-oracle construction time and Charge
+//	    throughput per fabric at each P (table mode at small P, O(hops)
+//	    walk mode at 65536).
+//
 // Exit status is 0 on success, 1 on any failure.
 package main
 
@@ -29,15 +34,19 @@ func main() {
 	plist := flag.String("p", "1024,4096,65536", "comma-separated processor counts for the scaling matrix")
 	counting := flag.Int("counting", 0, "run one BandwidthOnly counting world of this many ranks instead of the matrix")
 	engine := flag.String("engine", "event", "engine for -counting runs")
+	topoScaling := flag.Bool("topo", false, "record the topology charge-oracle scaling matrix instead of the engine matrix")
 	flag.Parse()
 
-	if err := run(*out, *plist, *counting, *engine); err != nil {
+	if *topoScaling && *out == "BENCH_engine_scaling.json" {
+		*out = "BENCH_topo_scaling.json"
+	}
+	if err := run(*out, *plist, *counting, *engine, *topoScaling); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrec:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, plist string, counting int, engineName string) error {
+func run(out, plist string, counting int, engineName string, topoScaling bool) error {
 	if counting > 0 {
 		eng, err := machine.ParseEngine(engineName)
 		if err != nil {
@@ -56,6 +65,23 @@ func run(out, plist string, counting int, engineName string) error {
 	ps, err := parsePs(plist)
 	if err != nil {
 		return err
+	}
+	if topoScaling {
+		rec, err := benchrec.RunTopoScaling(ps, func(fabric string, p int) {
+			fmt.Printf("bench: fabric=%s P=%d\n", fabric, p)
+		})
+		if err != nil {
+			return err
+		}
+		for _, s := range rec.Samples {
+			fmt.Printf("  %-18s P=%-6d %-5s build %10.0f ns  charge %8.1f ns/op %12.0f charges/s\n",
+				s.Fabric, s.P, s.Mode, s.BuildNs, s.ChargeNsPerOp, s.ChargesPerSec)
+		}
+		if err := rec.WriteFile(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d samples)\n", out, len(rec.Samples))
+		return nil
 	}
 	rec := benchrec.RunEngineScaling(ps, func(engine string, p int) {
 		fmt.Printf("bench: engine=%s P=%d\n", engine, p)

@@ -191,6 +191,38 @@ func TestLimitedMemoryShowsCrossover(t *testing.T) {
 	}
 }
 
+// TestFabricScale runs the datacenter fabric study at its smaller
+// supported size (P = 4096, still well above the charge oracle's table
+// threshold) and checks the structural invariants: flat rows exact, every
+// fabric × placement cell present, some fabric congested.
+func TestFabricScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4096-rank simulations")
+	}
+	a, err := FabricScale(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "E18-fabric-scale" {
+		t.Fatalf("ID = %q", a.ID)
+	}
+	for _, want := range []string{"flat", "twolevel=64", "torus=16x16x16", "fattree=4x6", "contiguous", "roundrobin", "walk"} {
+		if !strings.Contains(a.Text, want) {
+			t.Errorf("artifact missing %q:\n%s", want, a.Text)
+		}
+	}
+	if strings.Count(a.CSV, "\n") < 8 {
+		t.Fatalf("expected 8 data rows:\n%s", a.CSV)
+	}
+}
+
+// TestFabricScaleRejectsUnknownP pins the parameterization contract.
+func TestFabricScaleRejectsUnknownP(t *testing.T) {
+	if _, err := FabricScale(1000); err == nil {
+		t.Fatal("P=1000 accepted")
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	arts, err := All()
 	if err != nil {

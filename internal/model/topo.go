@@ -100,10 +100,26 @@ func Alg1TimeTopo(d core.Dims, g grid.Grid, cfg machine.Config, alg collective.A
 // worstFiberCharge returns the largest per-message α and β any ordered rank
 // pair within any fiber of the axis is charged. The maxima are taken
 // independently: latency and bandwidth may be gated by different pairs.
+//
+// Two exact shortcuts keep the sweep affordable at datacenter P: a uniform
+// network (Flat) charges every pair identically, so one pair answers for
+// all; and on fabrics with translation symmetry, fibers in the same
+// symmetry class (topo.FiberClassKey) see identical charge sets, so only
+// one fiber per class is priced — on a torus that is a single fiber per
+// axis regardless of P.
 func worstFiberCharge(g grid.Grid, axis grid.Axis, net *topo.Network) (alpha, beta float64) {
 	k := g.FiberLen(axis)
+	if k <= 1 {
+		return 0, 0
+	}
+	if net.Uniform() {
+		fiber := make([]int, k)
+		g.FiberInto(fiber, 0, axis)
+		return net.Charge(fiber[0], fiber[1])
+	}
 	fiber := make([]int, k)
 	seen := make([]bool, g.Size())
+	classes := make(map[string]struct{})
 	for r := 0; r < g.Size(); r++ {
 		if seen[r] {
 			continue
@@ -111,6 +127,12 @@ func worstFiberCharge(g grid.Grid, axis grid.Axis, net *topo.Network) (alpha, be
 		g.FiberInto(fiber, r, axis)
 		for _, m := range fiber {
 			seen[m] = true
+		}
+		if key, ok := topo.FiberClassKey(net.Topology(), net.Placement(), fiber); ok {
+			if _, dup := classes[key]; dup {
+				continue
+			}
+			classes[key] = struct{}{}
 		}
 		for _, s := range fiber {
 			for _, d := range fiber {

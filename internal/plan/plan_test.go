@@ -359,3 +359,38 @@ func TestTopologyPlan(t *testing.T) {
 		}
 	}
 }
+
+// TestTopologyPlanDatacenterP sweeps a shared-NIC fabric across P = 8192 …
+// 65536 — every point above the charge oracle's table fast path, priced
+// through the O(links) analytic loads and the walk-mode Charge. The sweep
+// exists to pin that datacenter-scale topology planning stays feasible.
+func TestTopologyPlanDatacenterP(t *testing.T) {
+	req := Request{
+		Dims: core.NewDims(4096, 4096, 4096),
+		Mem:  1e9,
+		PMin: 8192, PMax: 65536,
+		Log2:     true,
+		Config:   machine.Config{Alpha: 2, Beta: 1, Gamma: 1.0 / 16},
+		TopoSpec: "twolevel=64",
+		Place:    "roundrobin",
+	}
+	_, pts, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	for _, pt := range pts {
+		if !pt.Fits {
+			t.Errorf("P=%d does not fit", pt.P)
+			continue
+		}
+		if pt.Slowdown < 1 {
+			t.Errorf("P=%d slowdown = %v, want ≥ 1", pt.P, pt.Slowdown)
+		}
+		if pt.Time <= 0 || math.IsInf(pt.Time, 0) || math.IsNaN(pt.Time) {
+			t.Errorf("P=%d time = %v", pt.P, pt.Time)
+		}
+	}
+}

@@ -33,12 +33,20 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 }
 
 // parseTopology resolves a request's topology block against a rank count:
-// the spec must describe exactly p endpoints and the placement must name a
-// known policy. Both failure modes wrap core.ErrBadTopology.
+// the spec must describe exactly p endpoints, the rank count must fit the
+// fabric's charge-oracle limit (unbounded for every spec'd fabric — their
+// link loads have closed forms — so this binds only custom fabrics), and
+// the placement must name a known policy. All failure modes wrap
+// core.ErrBadTopology, and the limit rejection names the fabric's actual
+// limit.
 func parseTopology(t *TopologyJSON, p int, link topo.Link) (topo.Topology, topo.Policy, error) {
 	fabric, err := topo.Parse(t.Spec, p, link)
 	if err != nil {
 		return nil, 0, err
+	}
+	if m := topo.MaxP(fabric); p > m {
+		return nil, 0, fmt.Errorf("service: P=%d exceeds %s's charge-oracle limit %d: %w",
+			p, fabric.Name(), m, core.ErrBadTopology)
 	}
 	pol, err := topo.ParsePolicy(t.Place)
 	if err != nil {
@@ -64,6 +72,23 @@ func (s *Server) checkSearchP(p int) error {
 	if p > s.cfg.MaxSearchProcs {
 		return fmt.Errorf("service: P=%d exceeds the search limit %d: %w",
 			p, s.cfg.MaxSearchProcs, core.ErrBadProcessorCount)
+	}
+	return nil
+}
+
+// checkTopoP guards synchronous topology-aware predictions: the
+// worst-fiber sweep is linear in P on fabrics without translation
+// symmetry, so it gets its own ceiling, tightened further by the fabric's
+// charge-oracle limit. The rejection names the effective limit so clients
+// learn the actual per-fabric bound, not a generic refusal.
+func (s *Server) checkTopoP(fabric topo.Topology, p int) error {
+	limit := s.cfg.MaxTopoProcs
+	if m := topo.MaxP(fabric); m < limit {
+		limit = m
+	}
+	if p > limit {
+		return fmt.Errorf("service: P=%d exceeds the topology prediction limit %d for %s: %w",
+			p, limit, fabric.Name(), core.ErrBadTopology)
 	}
 	return nil
 }
@@ -264,6 +289,9 @@ func (s *Server) predictOne(pp PredictProblem) (PredictResponse, error) {
 	if pp.Topology != nil {
 		fabric, pol, err := parseTopology(pp.Topology, pp.P, topo.Link{Alpha: cfg.Alpha, Beta: cfg.Beta})
 		if err != nil {
+			return PredictResponse{}, err
+		}
+		if err := s.checkTopoP(fabric, pp.P); err != nil {
 			return PredictResponse{}, err
 		}
 		pred, err := s.predictTopo(d, g, cfg, fabric, pol)

@@ -47,6 +47,14 @@ type Config struct {
 	// MaxSearchProcs rejects grid/predict requests whose P exceeds it (the
 	// divisor search is linear in P); ≤ 0 selects 1 << 24.
 	MaxSearchProcs int
+	// MaxTopoProcs rejects topology-aware predict requests whose P exceeds
+	// it: the synchronous worst-fiber sweep is linear in P on fabrics
+	// without translation symmetry, so it gets its own ceiling below
+	// MaxSearchProcs. A fabric's own charge-oracle limit (topo.MaxP, which
+	// binds only custom fabrics without closed-form link loads) tightens
+	// the effective limit further; rejections name whichever limit fired.
+	// ≤ 0 selects 1 << 17.
+	MaxTopoProcs int
 	// MaxBatch bounds the batch length of batch requests; ≤ 0 selects
 	// 1024.
 	MaxBatch int
@@ -114,6 +122,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSearchProcs <= 0 {
 		c.MaxSearchProcs = 1 << 24
+	}
+	if c.MaxTopoProcs <= 0 {
+		c.MaxTopoProcs = 1 << 17
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 1024

@@ -1,8 +1,11 @@
 package service
 
 import (
+	"context"
 	"math"
 	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -91,6 +94,84 @@ func TestSimulateTopologyJob(t *testing.T) {
 	}
 	if tree.MaxAbsDiff == nil || *tree.MaxAbsDiff > 1e-9*48 {
 		t.Fatalf("verification failed: %+v", tree.MaxAbsDiff)
+	}
+}
+
+// TestPredictTopologyWalkMode checks a synchronous topology prediction
+// above the table fast-path threshold (P = 4096 > 2048): the walk-mode
+// charge oracle must serve it with the usual Total = FlatTotal · Slowdown
+// decomposition intact.
+func TestPredictTopologyWalkMode(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"n1":512,"n2":512,"n3":512,"p":4096,"alpha":2,"beta":1,"gamma":0.0625,` +
+		`"topology":{"spec":"torus=16x16x16","place":"roundrobin"}}`
+	status, raw := post(t, ts, "/v1/predict", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	resp := decode[PredictResponse](t, raw)
+	if resp.Slowdown < 1 {
+		t.Fatalf("torus=16x16x16 slowdown = %v, want ≥ 1", resp.Slowdown)
+	}
+	if math.Abs(resp.Total-resp.FlatTotal*resp.Slowdown) > 1e-9*resp.Total {
+		t.Fatalf("total %v != flatTotal %v · slowdown %v", resp.Total, resp.FlatTotal, resp.Slowdown)
+	}
+}
+
+// TestPredictTopologyProcsLimit checks the MaxTopoProcs admission gate: a
+// topology prediction beyond the configured ceiling is a 400 bad_topology
+// naming the effective limit, and the same request without a topology
+// block still succeeds.
+func TestPredictTopologyProcsLimit(t *testing.T) {
+	s := New(Config{Workers: 2, MaxTopoProcs: 512})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	base := `{"n1":256,"n2":256,"n3":256,"p":1024,"alpha":2,"beta":1`
+	status, raw := post(t, ts, "/v1/predict", base+`,"topology":{"spec":"torus=8x8x16"}}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", status, raw)
+	}
+	e := decode[ErrorResponse](t, raw)
+	if e.Kind != "bad_topology" {
+		t.Fatalf("kind = %q, want bad_topology (%s)", e.Kind, e.Error)
+	}
+	if !strings.Contains(e.Error, "512") {
+		t.Fatalf("rejection does not name the limit 512: %q", e.Error)
+	}
+	if status, raw := post(t, ts, "/v1/predict", base+`}`); status != http.StatusOK {
+		t.Fatalf("bare predict at the same P rejected: %d %s", status, raw)
+	}
+}
+
+// TestSimulateTopologyLargeP runs a P = 65536 torus problem through the
+// job API on the event engine — above the goroutine engine's admission cap,
+// legal on the event engine, and served by the walk-mode charge oracle.
+func TestSimulateTopologyLargeP(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("65536-rank simulation")
+	}
+	_, ts := newTestServer(t)
+	body := `{"n1":64,"n2":64,"n3":64,"p":65536,"engine":"event",` +
+		`"topology":{"spec":"torus=16x16x16x16","place":"contiguous"}}`
+	status, raw := post(t, ts, "/v1/simulate", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("accept status %d: %s", status, raw)
+	}
+	final := waitJob(t, ts, decode[JobResponse](t, raw).ID)
+	if final.Status != string(JobDone) {
+		t.Fatalf("job = %+v", final)
+	}
+	res := decode[SimulateResult](t, mustMarshal(t, final.Result))
+	if res.Topology != "torus=16x16x16x16" {
+		t.Fatalf("echo = %q", res.Topology)
+	}
+	if res.CriticalPath <= 0 || res.TotalWords <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
 	}
 }
 

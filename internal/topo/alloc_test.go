@@ -25,6 +25,35 @@ func TestChargeDoesNotAllocate(t *testing.T) {
 	}
 }
 
+// TestChargeDoesNotAllocateAtScale pins the walk path at datacenter size:
+// P=65536 is far past tableP, so Charge prices each route arithmetically
+// through WalkCharge — which must stay allocation-free, since the
+// simulator calls it once per message and an event-engine run at this
+// scale sends tens of millions.
+func TestChargeDoesNotAllocateAtScale(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts shift under -race instrumentation")
+	}
+	const p = 1 << 16
+	for _, spec := range []string{"twolevel=64", "torus=16x16x16x16", "fattree=4x8", "tree=2x16"} {
+		n := mustNetwork(t, spec, p, Contiguous)
+		if n.Tabulated() {
+			t.Fatalf("%s at P=%d built per-pair tables, want walk mode", spec, p)
+		}
+		var sink float64
+		got := testing.AllocsPerRun(100, func() {
+			for s := 0; s < 64; s++ {
+				a, b := n.Charge(s*977+13, ((s+29)*1993)%p)
+				sink += a + b
+			}
+		})
+		if got != 0 {
+			t.Errorf("%s: walk Charge allocates %.1f per 64 calls, want 0", spec, got)
+		}
+		_ = sink
+	}
+}
+
 // TestRouteReusesBuffer pins the Route contract: routing into a
 // pre-grown buffer must not allocate.
 func TestRouteReusesBuffer(t *testing.T) {

@@ -133,3 +133,80 @@ func (t *FatTree) Route(buf []int, src, dst int) []int {
 
 // Link returns the uniform per-cable link cost.
 func (t *FatTree) Link(int) Link { return t.link }
+
+// Scalable reports whether every level's cable count divides its subtree
+// leaf count. When it does, the deterministic cable choice
+// (31·src + dst) mod widths[ℓ] spreads the level's all-to-all flows
+// exactly uniformly across the cables (for any fixed src, the dst
+// residues modulo the width are equidistributed over both a subtree and
+// its complement, because both have width-aligned sizes), giving the link
+// loads a closed form. Both Parse shapes qualify: full-bisection widths
+// radix^ℓ and skinny width-1 trees.
+func (t *FatTree) Scalable() bool {
+	sub := 1
+	for l := 0; l < t.levels; l++ {
+		if sub%t.widths[l] != 0 {
+			return false
+		}
+		sub *= t.radix
+	}
+	return true
+}
+
+// Diameter returns 2·levels: up to the root and back down.
+func (t *FatTree) Diameter() int { return 2 * t.levels }
+
+// LinkFlows fills the all-to-all crossing count of every link (flows must
+// be zeroed). The level-ℓ tree edge above a node with sub = radix^ℓ leaves
+// carries the sub·(p−sub) pairs crossing it in each direction, split
+// exactly evenly over the widths[ℓ] cables — see Scalable for why the
+// cable hash is uniform. Only valid when Scalable() is true.
+func (t *FatTree) LinkFlows(flows []int) {
+	sub := 1
+	for l := 0; l < t.levels; l++ {
+		w := t.widths[l]
+		per := sub * (t.p - sub) / w
+		nodes := t.p / sub
+		for node := 0; node < nodes; node++ {
+			for c := 0; c < w; c++ {
+				flows[t.linkID(l, node, c, 0)] = per
+				flows[t.linkID(l, node, c, 1)] = per
+			}
+		}
+		sub *= t.radix
+	}
+}
+
+// WalkCharge prices one message in Route's link order — climb to the LCA,
+// then descend — without materializing the route or allocating.
+func (t *FatTree) WalkCharge(effBeta []float64, src, dst int) (alpha, maxEff float64) {
+	if src == dst {
+		return 0, 0
+	}
+	lca, s, d := 0, src, dst
+	for s != d {
+		s /= t.radix
+		d /= t.radix
+		lca++
+	}
+	for l, node := 0, src; l < lca; l++ {
+		cable := (src*31 + dst) % t.widths[l]
+		alpha += t.link.Alpha
+		if e := effBeta[t.linkID(l, node, cable, 0)]; e > maxEff {
+			maxEff = e
+		}
+		node /= t.radix
+	}
+	for l := lca - 1; l >= 0; l-- {
+		node := dst
+		for i := 0; i < l; i++ {
+			node /= t.radix
+		}
+		cable := (src*31 + dst) % t.widths[l]
+		alpha += t.link.Alpha
+		if e := effBeta[t.linkID(l, node, cable, 1)]; e > maxEff {
+			maxEff = e
+		}
+	}
+	return alpha, maxEff
+}

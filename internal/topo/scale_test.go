@@ -1,0 +1,253 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// scaleSpecs maps rank counts to every Parse-able non-flat spec shape at
+// that size, covering even and odd torus extents (forward/backward ring
+// asymmetry), full-bisection and skinny trees, and two-level nodes.
+func scaleSpecs(p int) []string {
+	switch p {
+	case 12:
+		return []string{"twolevel=4", "torus=3x4", "torus=12"}
+	case 64:
+		return []string{"twolevel=8", "torus=4x4x4", "torus=8x8", "fattree=4x3", "tree=4x3", "fattree=8x2"}
+	case 100:
+		return []string{"twolevel=10", "torus=5x20", "torus=10x10", "torus=5x5x4"}
+	case 256:
+		return []string{"twolevel=16", "torus=4x8x8", "fattree=4x4", "tree=2x8"}
+	case 2048:
+		return []string{"twolevel=32", "torus=8x16x16", "fattree=2x11", "tree=2x11"}
+	default:
+		return nil
+	}
+}
+
+func mustParse(t *testing.T, spec string, p int) Topology {
+	t.Helper()
+	tp, err := Parse(spec, p, testLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// TestAnalyticLinkFlowsMatchEnumerated holds every fabric's closed-form
+// LinkFlows and Diameter against the all-pairs route enumeration.
+func TestAnalyticLinkFlowsMatchEnumerated(t *testing.T) {
+	for _, p := range []int{12, 64, 100, 256} {
+		for _, spec := range scaleSpecs(p) {
+			tp := mustParse(t, spec, p)
+			s, ok := tp.(ScalableFabric)
+			if !ok || !s.Scalable() {
+				t.Fatalf("%s at P=%d: Parse built a non-scalable fabric", spec, p)
+			}
+			got := make([]int, tp.NumLinks())
+			s.LinkFlows(got)
+			want := make([]int, tp.NumLinks())
+			maxHops := enumerateFlows(tp, want)
+			for l := range want {
+				if got[l] != want[l] {
+					t.Fatalf("%s at P=%d: link %d analytic flows %d, enumerated %d", spec, p, l, got[l], want[l])
+				}
+			}
+			if d := s.Diameter(); d != maxHops {
+				t.Errorf("%s at P=%d: Diameter %d, enumerated longest route %d", spec, p, d, maxHops)
+			}
+		}
+	}
+}
+
+// TestFatTreeUnevenWidthsFallBack checks a cable count that does not
+// divide its subtree size reports non-scalable, and that NewNetwork still
+// builds it through the enumeration fallback.
+func TestFatTreeUnevenWidthsFallBack(t *testing.T) {
+	tp, err := NewFatTree(2, 2, []int{1, 3}, testLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Scalable() {
+		t.Fatal("widths {1, 3} on radix 2 reported scalable; 3 does not divide the subtree size 2")
+	}
+	pl, err := PlaceRanks(tp.P(), tp, Contiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNetwork(tp, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.MaxHops() != 4 {
+		t.Errorf("MaxHops = %d, want 4", n.MaxHops())
+	}
+}
+
+// walkOnly returns a copy of n with the per-pair tables dropped, forcing
+// Charge onto the O(hops) walk path.
+func walkOnly(t *testing.T, n *Network) *Network {
+	t.Helper()
+	if n.walker == nil {
+		t.Fatalf("%s has no walker", n.Topology().Name())
+	}
+	c := *n
+	c.lat, c.bw = nil, nil
+	return &c
+}
+
+// TestWalkChargeMatchesTableCharge pins the bit-identity contract between
+// the two Charge modes for every fabric × placement: the table fast path
+// and the on-demand route walk must return exactly the same floats, so a
+// simulation's critical path cannot depend on which mode the rank count
+// selects.
+func TestWalkChargeMatchesTableCharge(t *testing.T) {
+	for _, p := range []int{12, 64, 100, 256, 2048} {
+		if p > 256 && (raceEnabled || testing.Short()) {
+			continue // the 2048-rank table builds dominate instrumented runs
+		}
+		// Full pair sweeps at small P, strided sampling at 2048.
+		ss, ds := 1, 1
+		if p > 256 {
+			ss, ds = 7, 13
+		}
+		for _, spec := range scaleSpecs(p) {
+			for _, pol := range []Policy{Contiguous, RoundRobin} {
+				table := mustNetwork(t, spec, p, pol)
+				if !table.Tabulated() {
+					t.Fatalf("%s at P=%d built without tables", spec, p)
+				}
+				walk := walkOnly(t, table)
+				for s := 0; s < p; s += ss {
+					for d := 0; d < p; d += ds {
+						ta, tb := table.Charge(s, d)
+						wa, wb := walk.Charge(s, d)
+						if ta != wa || tb != wb {
+							t.Fatalf("%s/%v at P=%d: Charge(%d, %d) table (%v, %v) != walk (%v, %v)",
+								spec, pol, p, s, d, ta, tb, wa, wb)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTranslationEquivariance verifies the Translatable contract the
+// symmetry-class shortcuts rely on: translating both endpoints of a pair
+// translates every link of its route, link by link in order.
+func TestTranslationEquivariance(t *testing.T) {
+	for _, spec := range []string{"torus=3x4", "torus=4x4x4", "torus=5x5x4", "twolevel=8"} {
+		p := map[string]int{"torus=3x4": 12, "torus=4x4x4": 64, "torus=5x5x4": 100, "twolevel=8": 64}[spec]
+		tp := mustParse(t, spec, p)
+		tr, ok := tp.(Translatable)
+		if !ok {
+			t.Fatalf("%s does not implement Translatable", spec)
+		}
+		var base, shifted []int
+		for from := 0; from < p; from += 3 {
+			for to := 0; to < p; to += 5 {
+				tok, ok := tr.Translation(from, to)
+				if !ok {
+					continue
+				}
+				if got := tr.TranslateEndpoint(from, tok); got != to {
+					t.Fatalf("%s: Translation(%d, %d) token moves to %d", spec, from, to, got)
+				}
+				if got := tr.TranslateEndpoint(to, tr.Invert(tok)); got != from {
+					t.Fatalf("%s: Invert does not undo Translation(%d, %d)", spec, from, to)
+				}
+				for d := 0; d < p; d += 7 {
+					base = tp.Route(base[:0], from, d)
+					shifted = tp.Route(shifted[:0], tr.TranslateEndpoint(from, tok), tr.TranslateEndpoint(d, tok))
+					if len(base) != len(shifted) {
+						t.Fatalf("%s: route %d→%d translates to a different length", spec, from, d)
+					}
+					for i, l := range base {
+						if tr.TranslateLink(l, tok) != shifted[i] {
+							t.Fatalf("%s: hop %d of route %d→%d breaks equivariance under token %d", spec, i, from, d, tok)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCongestMatchesExhaustive holds the symmetry-class congestion path
+// against the original full enumeration for every fabric × placement over
+// all divisor triples of each rank count — flows, busiest-link load, χ,
+// and hop statistics must agree exactly.
+func TestCongestMatchesExhaustive(t *testing.T) {
+	for _, p := range []int{12, 64, 100} {
+		specs := append([]string{"flat"}, scaleSpecs(p)...)
+		for _, g := range divisorTriples(p) {
+			for _, spec := range specs {
+				tp := mustParse(t, spec, p)
+				for _, pol := range []Policy{Contiguous, RoundRobin} {
+					pl, err := Map(g, tp, pol)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := Congest(g, tp, pl)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := congestExhaustive(g, tp, pl)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got.Phases) != len(want.Phases) {
+						t.Fatalf("%s/%v on %v: phase count %d != %d", spec, pol, g, len(got.Phases), len(want.Phases))
+					}
+					for i := range got.Phases {
+						if got.Phases[i] != want.Phases[i] {
+							t.Fatalf("%s/%v on %v, %s:\n scaled     %+v\n exhaustive %+v",
+								spec, pol, g, want.Phases[i].Phase, got.Phases[i], want.Phases[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCongestAtScale checks the symmetry-class path handles a P=65536
+// torus and two-level fabric in well under a second of work per report,
+// with the known closed-form answers.
+func TestCongestAtScale(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("large-P congestion reports")
+	}
+	const p = 1 << 16
+	g := grid.Grid{P1: 64, P2: 32, P3: 32}
+	for _, spec := range []string{"twolevel=32", "torus=16x16x16x16", "fattree=4x8", "flat"} {
+		tp := mustParse(t, spec, p)
+		pl, err := Map(g, tp, Contiguous)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Congest(g, tp, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range []int{g.P3, g.P1, g.P2} { // phase order: Axis3, Axis1, Axis2
+			ph := rep.Phases[i]
+			if ph.Flows != p*(k-1) {
+				t.Errorf("%s %s: Flows = %d, want %d", spec, ph.Phase, ph.Flows, p*(k-1))
+			}
+			if ph.MaxChi < 1 {
+				t.Errorf("%s %s: MaxChi = %v < 1", spec, ph.Phase, ph.MaxChi)
+			}
+		}
+		// Contiguous keeps each Axis3 fiber (32 consecutive ranks) inside
+		// one 32-rank node: the A All-Gather runs on dedicated intra links.
+		if spec == "twolevel=32" && rep.Phases[0].MaxChi != 1 {
+			t.Errorf("twolevel=32 contiguous allgather-A MaxChi = %v, want 1", rep.Phases[0].MaxChi)
+		}
+		if spec == "flat" && rep.MaxChi() != 1 {
+			t.Errorf("flat MaxChi = %v, want 1", rep.MaxChi())
+		}
+	}
+}

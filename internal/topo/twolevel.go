@@ -64,3 +64,94 @@ func (t *TwoLevel) Link(id int) Link {
 	}
 	return t.intra
 }
+
+// Scalable reports that the hierarchy has closed-form all-to-all link
+// loads.
+func (t *TwoLevel) Scalable() bool { return true }
+
+// Diameter returns the longest route: two NIC hops across nodes, one
+// intra-node hop inside a single node, zero for a single endpoint.
+func (t *TwoLevel) Diameter() int {
+	if t.nodes > 1 {
+		return 2
+	}
+	if t.perNode > 1 {
+		return 1
+	}
+	return 0
+}
+
+// LinkFlows fills the all-to-all crossing count of every link (flows must
+// be zeroed): each NIC uplink and downlink carries its node's
+// perNode·(P−perNode) cross-node pairs, and each dedicated intra-node pair
+// link carries exactly its one pair (diagonal ids stay unused).
+func (t *TwoLevel) LinkFlows(flows []int) {
+	cross := t.perNode * (t.P() - t.perNode)
+	for n := 0; n < t.nodes; n++ {
+		flows[t.up(n)] = cross
+		flows[t.down(n)] = cross
+	}
+	for n := 0; n < t.nodes; n++ {
+		base := 2*t.nodes + n*t.perNode*t.perNode
+		for sl := 0; sl < t.perNode; sl++ {
+			for dl := 0; dl < t.perNode; dl++ {
+				if sl != dl {
+					flows[base+sl*t.perNode+dl] = 1
+				}
+			}
+		}
+	}
+}
+
+// WalkCharge prices one message in Route's link order — intra link, or
+// uplink then downlink — without materializing the route or allocating.
+func (t *TwoLevel) WalkCharge(effBeta []float64, src, dst int) (alpha, maxEff float64) {
+	if src == dst {
+		return 0, 0
+	}
+	sn, dn := src/t.perNode, dst/t.perNode
+	if sn == dn {
+		id := 2*t.nodes + (sn*t.perNode+src%t.perNode)*t.perNode + dst%t.perNode
+		return t.intra.Alpha, effBeta[id]
+	}
+	alpha = t.nic.Alpha + t.nic.Alpha
+	maxEff = effBeta[t.up(sn)]
+	if e := effBeta[t.down(dn)]; e > maxEff {
+		maxEff = e
+	}
+	return alpha, maxEff
+}
+
+// Translation returns the whole-node shift carrying from onto to; it
+// exists only when both endpoints occupy the same intra-node slot, since
+// routing distinguishes slots through the dedicated intra links.
+func (t *TwoLevel) Translation(from, to int) (int, bool) {
+	if from%t.perNode != to%t.perNode {
+		return 0, false
+	}
+	return (to/t.perNode - from/t.perNode + t.nodes) % t.nodes, true
+}
+
+// Invert returns the opposite node shift.
+func (t *TwoLevel) Invert(tok int) int { return (t.nodes - tok) % t.nodes }
+
+// TranslateEndpoint shifts the endpoint's node, keeping its slot.
+func (t *TwoLevel) TranslateEndpoint(e, tok int) int {
+	return ((e/t.perNode+tok)%t.nodes)*t.perNode + e%t.perNode
+}
+
+// TranslateLink shifts the link's owning node, keeping NIC direction or
+// intra-node slot pair.
+func (t *TwoLevel) TranslateLink(l, tok int) int {
+	if l < 2*t.nodes {
+		node, dir := l/2, l%2
+		return 2*((node+tok)%t.nodes) + dir
+	}
+	rel := l - 2*t.nodes
+	per := t.perNode * t.perNode
+	node, off := rel/per, rel%per
+	return 2*t.nodes + ((node+tok)%t.nodes)*per + off
+}
+
+// Anchor keeps the endpoint's slot on node 0.
+func (t *TwoLevel) Anchor(e int) int { return e % t.perNode }
