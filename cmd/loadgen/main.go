@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/benchrec"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // outcome is one request's measurement.
@@ -41,8 +42,11 @@ type outcome struct {
 }
 
 // client loops over the traffic mix until ctx is done, appending one
-// outcome per request. epoch0 anchors the shared plan-epoch clock.
-func client(ctx context.Context, base string, epoch0 time.Time, out *[]outcome) {
+// outcome per request. epoch0 anchors the shared plan-epoch clock. With
+// artifacts on, every sixth request is an artifact round trip: submit a
+// traced simulation, poll the job, list its artifacts, and issue a ranged
+// GET against the trace — the serving path for durable job outputs.
+func client(ctx context.Context, base string, epoch0 time.Time, artifacts bool, out *[]outcome) {
 	hc := &http.Client{}
 	bodies := []struct{ endpoint, path, body string }{
 		{"POST /v1/lowerbound", "/v1/lowerbound",
@@ -53,6 +57,12 @@ func client(ctx context.Context, base string, epoch0 time.Time, out *[]outcome) 
 	for i := 0; ctx.Err() == nil; i++ {
 		var endpoint, path, body string
 		stream := false
+		if artifacts && i%6 == 4 {
+			start := time.Now()
+			ok := artifactRoundTrip(ctx, hc, base)
+			*out = append(*out, outcome{endpoint: "artifact round-trip", latency: time.Since(start), ok: ok})
+			continue
+		}
 		if i%3 == 2 {
 			// Every client sleeps to the next epoch boundary and then fires
 			// the identical plan request over a key space nobody has
@@ -113,15 +123,106 @@ func doRequest(ctx context.Context, hc *http.Client, url, body string, stream bo
 	return err == nil
 }
 
+// artifactRoundTrip drives the durable-artifact path end to end: a traced
+// simulate job, the job poll loop, the artifact listing, and a ranged GET
+// of the Chrome trace (which must answer 206 with at most the window).
+func artifactRoundTrip(ctx context.Context, hc *http.Client, base string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/simulate",
+		strings.NewReader(`{"n1":16,"n2":16,"n3":16,"p":4,"trace":true}`))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false
+	}
+	var job struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&job)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		return false
+	}
+	for job.Status == "queued" || job.Status == "running" {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(5 * time.Millisecond):
+		}
+		r, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+job.ID, nil)
+		if err != nil {
+			return false
+		}
+		resp, err = hc.Do(r)
+		if err != nil {
+			return false
+		}
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return false
+		}
+	}
+	if job.Status != "done" {
+		return false
+	}
+	r, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+job.ID+"/artifacts", nil)
+	if err != nil {
+		return false
+	}
+	resp, err = hc.Do(r)
+	if err != nil {
+		return false
+	}
+	var listing struct {
+		Artifacts []struct {
+			Name string `json:"name"`
+		} `json:"artifacts"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || len(listing.Artifacts) == 0 {
+		return false
+	}
+	r, err = http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+job.ID+"/artifacts/trace.json", nil)
+	if err != nil {
+		return false
+	}
+	r.Header.Set("Range", "bytes=0-99")
+	resp, err = hc.Do(r)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	return err == nil && resp.StatusCode == http.StatusPartialContent && n <= 100
+}
+
 func main() {
 	addr := flag.String("addr", "", "parmmd base URL (e.g. http://127.0.0.1:8080); empty serves in-process")
 	duration := flag.Duration("duration", 10*time.Second, "how long to sustain the load")
 	clients := flag.Int("clients", 8, "concurrent load-generating clients")
 	out := flag.String("out", "BENCH_serving.json", "output record path (empty: stdout only)")
+	artifacts := flag.Bool("artifacts", false, "mix in artifact round trips (traced simulate job → listing → ranged GET); requires the target to run with artifact storage. Always on for the in-process server.")
 	flag.Parse()
 
 	base := *addr
 	if base == "" {
+		dir, err := os.MkdirTemp("", "loadgen-artifacts-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		fs, err := store.NewFS(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		*artifacts = true
 		srv := service.New(service.Config{
 			PlanConcurrency:    *clients,
 			ComputeConcurrency: 4 * *clients,
@@ -129,6 +230,7 @@ func main() {
 			// to stream, so both response modes appear in the mix.
 			PlanInlineLimit: 8192,
 			CacheSize:       1 << 16,
+			ArtifactStore:   fs,
 		})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -152,7 +254,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			client(ctx, base, start, &perClient[i])
+			client(ctx, base, start, *artifacts, &perClient[i])
 		}(i)
 	}
 	wg.Wait()

@@ -14,7 +14,13 @@
 // with DELETE), POST /v1/plan (strong-scaling sweeps; large ranges stream
 // NDJSON, capped at -max-plan-points per problem), GET /healthz,
 // GET /metrics (Prometheus text format), GET /debug/vars, and — with
-// -pprof — the net/http/pprof profiles under GET /debug/pprof/. Expensive
+// -pprof — the net/http/pprof profiles under GET /debug/pprof/. With
+// -artifact-dir, jobs store durable artifacts (Chrome traces via
+// "trace": true, result JSON/CSV, async plan NDJSON via "job": true)
+// served by GET /v1/jobs/{id}/artifacts[/{name}] with Range support; the
+// artifacts survive job eviction. With -push-addr, every metric family is
+// also pushed to a statsd sink each -push-interval (counters as interval
+// deltas, histograms as count/sum plus p50/p90/p99 gauges). Expensive
 // pure computations are memoized in a sharded LRU with singleflight
 // coalescing; synchronous endpoints admit at most -compute-concurrency
 // (plans: -plan-concurrency) requests at once and answer 503 beyond;
@@ -40,6 +46,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -60,6 +67,11 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "how long finished jobs stay queryable (negative: forever)")
 	jobRetain := flag.Int("job-retain", 4096, "max finished jobs kept regardless of age (negative: uncapped)")
 	accessLog := flag.Bool("access-log", true, "log one JSON line per request to stderr")
+	artifactDir := flag.String("artifact-dir", "", "directory for durable job artifacts (empty: artifacts disabled)")
+	artifactMax := flag.Int64("artifact-max-bytes", 0, "per-artifact size cap in bytes (0: 64 MiB)")
+	pushAddr := flag.String("push-addr", "", "statsd sink for pushed metrics: udp://host:port, tcp://host:port, or host:port (empty: push disabled)")
+	pushInterval := flag.Duration("push-interval", 10*time.Second, "metrics push flush interval")
+	pushPrefix := flag.String("push-prefix", "parmmd", "statsd key prefix for pushed metrics")
 	flag.Parse()
 
 	// Turn on the simulator/collective instrumentation so /metrics carries
@@ -88,7 +100,31 @@ func main() {
 	if *accessLog {
 		cfg.AccessLog = os.Stderr
 	}
+	if *artifactDir != "" {
+		fs, err := store.NewFS(*artifactDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parmmd: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.ArtifactStore = fs
+		cfg.MaxArtifactBytes = *artifactMax
+	}
 	srv := service.New(cfg)
+	if *pushAddr != "" {
+		pusher, err := obs.NewPusher(obs.PushConfig{
+			Addr:       *pushAddr,
+			Interval:   *pushInterval,
+			Prefix:     *pushPrefix,
+			Registries: []*obs.Registry{srv.Registry(), obs.Default},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parmmd: %v\n", err)
+			os.Exit(1)
+		}
+		// Closed on shutdown below: the final flush ships the last
+		// interval's deltas before the process exits.
+		defer pusher.Close()
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

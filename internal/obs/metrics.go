@@ -95,10 +95,24 @@ func DefSecondsBuckets() []float64 {
 	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 }
 
+// newHistogram normalizes the bounds — sorted, duplicates collapsed, an
+// explicit +Inf dropped in favor of the implicit final bucket — so the
+// cumulative `le` exposition lines are strictly monotone whatever order or
+// redundancy the caller passed.
 func newHistogram(bounds []float64) *Histogram {
-	bs := make([]float64, len(bounds))
-	copy(bs, bounds)
-	sort.Float64s(bs)
+	sorted := make([]float64, len(bounds))
+	copy(sorted, bounds)
+	sort.Float64s(sorted)
+	bs := make([]float64, 0, len(sorted))
+	for _, b := range sorted {
+		if math.IsInf(b, 1) {
+			continue
+		}
+		if len(bs) > 0 && bs[len(bs)-1] == b {
+			continue
+		}
+		bs = append(bs, b)
+	}
 	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
 }
 

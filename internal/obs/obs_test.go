@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -186,6 +188,108 @@ func TestConcurrentUpdatesAndScrapes(t *testing.T) {
 	if h.Count() != workers*iters {
 		t.Fatalf("histogram count %d, want %d", h.Count(), workers*iters)
 	}
+}
+
+// TestScrapeRegistrationRace is the -race regression test for the
+// scrape/registration data race: WritePrometheus used to copy the family
+// order under the lock but iterate each family's children after unlocking,
+// while register appended to the same slice. Concurrent scrapes against
+// late registrations must neither race nor drop settled children.
+func TestScrapeRegistrationRace(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("race_total", "seed", "op", "seed").Inc()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sb strings.Builder
+				r.WritePrometheus(&sb)
+				if !strings.Contains(sb.String(), `race_total{op="seed"} 1`) {
+					t.Error("settled child missing from scrape")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		// Same family (append to children) and fresh families (append to
+		// order), the two slices the scraper iterates.
+		r.Counter("race_total", "seed", "op", fmt.Sprintf("op%d", i)).Inc()
+		r.Gauge(fmt.Sprintf("race_fam_%d", i), "late family").Set(int64(i))
+	}
+	close(stop)
+	wg.Wait()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `race_total{op="op499"} 1`) {
+		t.Fatalf("late registration missing from final scrape")
+	}
+}
+
+// TestHistogramBoundsNormalized: unsorted, duplicated, and +Inf bounds must
+// render strictly monotone `le` lines (Prometheus rejects duplicates and
+// non-monotone cumulative buckets).
+func TestHistogramBoundsNormalized(t *testing.T) {
+	cases := []struct {
+		name   string
+		bounds []float64
+		les    []string // expected le label values, in order, +Inf implicit last
+	}{
+		{"unsorted", []float64{1, 0.5, 2}, []string{"0.5", "1", "2"}},
+		{"duplicates", []float64{1, 1, 0.5, 2, 2}, []string{"0.5", "1", "2"}},
+		{"explicit_inf", []float64{0.5, math.Inf(1), 1}, []string{"0.5", "1"}},
+		{"all_dup", []float64{3, 3, 3}, []string{"3"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			h := r.Histogram("hb_seconds", "h", tc.bounds)
+			h.Observe(0.75)
+			h.Observe(1.5)
+			var sb strings.Builder
+			r.WritePrometheus(&sb)
+			out := sb.String()
+			want := append(append([]string{}, tc.les...), "+Inf")
+			var got []string
+			for _, line := range strings.Split(out, "\n") {
+				if strings.HasPrefix(line, "hb_seconds_bucket{") {
+					le := strings.TrimPrefix(line, `hb_seconds_bucket{le="`)
+					got = append(got, le[:strings.Index(le, `"`)])
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("le lines = %v, want %v:\n%s", got, want, out)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("le lines = %v, want %v:\n%s", got, want, out)
+				}
+			}
+			// Cumulative counts must be non-decreasing with all
+			// observations accounted for in +Inf.
+			if !strings.Contains(out, `hb_seconds_bucket{le="+Inf"} 2`) {
+				t.Fatalf("+Inf bucket must hold every observation:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestHistogramNaNBoundPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on NaN bucket bound")
+		}
+	}()
+	r.Histogram("nan_seconds", "h", []float64{0.1, math.NaN()})
 }
 
 func TestEnabledToggle(t *testing.T) {

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -23,9 +24,13 @@ func (k metricKind) String() string {
 }
 
 // child is one labeled member of a family: its rendered label pairs (inner
-// part, without braces) plus the metric and how to render it.
+// part, without braces) plus the metric and how to render it. A child is
+// immutable once created — only the metric's own atomics change — so
+// snapshotting a family means copying child pointers under the registry
+// lock.
 type child struct {
-	labels string // `k="v",k2="v2"` or ""
+	labels string   // `k="v",k2="v2"` or ""
+	kv     []string // the raw key/value pairs, for exporters (push.go)
 	metric any
 	write  func(w io.Writer, name, labels string)
 }
@@ -76,7 +81,9 @@ func (r *Registry) register(name, help string, kind metricKind, labels []string,
 		}
 	}
 	m, write := mk()
-	f.children = append(f.children, &child{labels: inner, metric: m, write: write})
+	kv := make([]string, len(labels))
+	copy(kv, labels)
+	f.children = append(f.children, &child{labels: inner, kv: kv, metric: m, write: write})
 	return m
 }
 
@@ -133,10 +140,20 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...str
 }
 
 // Histogram registers (or returns the existing) histogram under name with
-// the given bucket upper bounds (nil selects DefSecondsBuckets).
+// the given bucket upper bounds (nil selects DefSecondsBuckets). Bounds are
+// sorted and deduplicated, and an explicit +Inf bound is dropped in favor
+// of the implicit final bucket, so the rendered cumulative `le` lines are
+// strictly monotone — Prometheus rejects expositions where they are not. A
+// NaN bound is unorderable and panics, like a kind mismatch: both are
+// programming errors at registration sites.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
 	if bounds == nil {
 		bounds = DefSecondsBuckets()
+	}
+	for _, b := range bounds {
+		if math.IsNaN(b) {
+			panic(fmt.Sprintf("obs: histogram %q registered with a NaN bucket bound", name))
+		}
 	}
 	return r.register(name, help, kindHistogram, labels, func() (any, func(io.Writer, string, string)) {
 		h := newHistogram(bounds)
@@ -154,15 +171,40 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 	}).(*Histogram)
 }
 
+// famSnapshot is one family captured under the registry lock: the header
+// fields plus a copy of the children slice, so rendering and exporting can
+// iterate it after unlocking while register keeps appending to the live
+// slice.
+type famSnapshot struct {
+	name     string
+	help     string
+	kind     metricKind
+	children []*child
+}
+
+// snapshot copies every family's header and children under the lock.
+// Children are immutable after creation, so pointer copies suffice; what
+// must not escape the lock is the children slice header itself, which
+// register rewrites on append.
+func (r *Registry) snapshot() []famSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]famSnapshot, len(r.order))
+	for i, f := range r.order {
+		cs := make([]*child, len(f.children))
+		copy(cs, f.children)
+		fams[i] = famSnapshot{name: f.name, help: f.help, kind: f.kind, children: cs}
+	}
+	return fams
+}
+
 // WritePrometheus renders every family in the text exposition format
 // (version 0.0.4): one HELP and TYPE line per family, then one sample line
-// per child (several for histograms).
+// per child (several for histograms). It writes from a locked snapshot, so
+// scrapes race metric registrations safely: a child registered mid-scrape
+// appears in the next scrape.
 func (r *Registry) WritePrometheus(w io.Writer) {
-	r.mu.Lock()
-	fams := make([]*family, len(r.order))
-	copy(fams, r.order)
-	r.mu.Unlock()
-	for _, f := range fams {
+	for _, f := range r.snapshot() {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind)
 		for _, c := range f.children {
 			c.write(w, f.name, c.labels)

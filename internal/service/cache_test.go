@@ -154,6 +154,82 @@ func TestCacheSingleflightPanic(t *testing.T) {
 	}
 }
 
+// TestCacheSingleflightPanicReleasesManyWaiters: the abandonment path with
+// a full crowd — every waiter parked on a panicking flight must be
+// released (fc.ok == false) and recompute for itself via the recursive
+// GetOrCompute, none deadlocking on the never-published value. Run with
+// -race this also proves the flight map's cleanup is synchronized.
+func TestCacheSingleflightPanicReleasesManyWaiters(t *testing.T) {
+	c := NewCache(64)
+	const waiters = 6
+	gate := make(chan struct{})
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		c.GetOrCompute("k", func() any { <-gate; panic("boom") })
+	}()
+	waitUntil(t, "panicking flight to register", func() bool { _, m := c.Stats(); return m == 1 })
+	got := make(chan int, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			got <- c.GetOrCompute("k", func() any { return 7 }).(int)
+		}()
+	}
+	waitUntil(t, "waiters to join the flight", func() bool { return c.Shared() >= waiters })
+	close(gate)
+	if p := <-panicked; p == nil {
+		t.Fatal("compute did not panic through GetOrCompute")
+	}
+	for i := 0; i < waiters; i++ {
+		select {
+		case v := <-got:
+			if v != 7 {
+				t.Fatalf("waiter got %d, want 7", v)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("waiter %d still parked after the owner panicked", i)
+		}
+	}
+}
+
+// TestCacheSingleflightSurvivesEviction: waiters read the flight's
+// published value, not the cache entry, so a value evicted from the LRU
+// the instant it is stored (here: a capacity-starved shard flooded during
+// the flight) still reaches every waiter. Run with -race.
+func TestCacheSingleflightSurvivesEviction(t *testing.T) {
+	c := NewCache(1) // one entry per shard: any flood evicts
+	release := make(chan struct{})
+	const waiters = 4
+	got := make(chan int, waiters+1)
+	go func() {
+		got <- c.GetOrCompute("k", func() any { <-release; return 42 }).(int)
+	}()
+	waitUntil(t, "flight to register", func() bool { _, m := c.Stats(); return m == 1 })
+	for i := 0; i < waiters; i++ {
+		go func() {
+			got <- c.GetOrCompute("k", func() any { return 42 }).(int)
+		}()
+	}
+	waitUntil(t, "waiters to join the flight", func() bool { return c.Shared() == waiters })
+	// Flood every shard while the flight is still open, so whichever
+	// shard "k" hashes to has its (single) slot churned before and after
+	// the owner publishes.
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("flood%d", i), i)
+	}
+	close(release)
+	for i := 0; i < waiters+1; i++ {
+		select {
+		case v := <-got:
+			if v != 42 {
+				t.Fatalf("caller got %d, want 42 despite eviction", v)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("caller never received the in-flight value")
+		}
+	}
+}
+
 // TestCacheConcurrent hammers the cache from many goroutines; run with
 // -race this is the shard-locking correctness test.
 func TestCacheConcurrent(t *testing.T) {

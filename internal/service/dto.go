@@ -248,6 +248,13 @@ type SimulateRequest struct {
 	// rejected as too large on the goroutine engine can retry with
 	// "engine": "event". Unknown names answer 400 with kind "bad_opts".
 	Engine string `json:"engine,omitempty"`
+	// Trace records each run's event timeline and stores it as a Chrome
+	// trace-event JSON artifact (trace.json, or trace-<i>.json per batch
+	// index), fetchable from GET /v1/jobs/{id}/artifacts/{name} after the
+	// job finishes — and still after the job itself is evicted. Requires
+	// the server to run with artifact storage; without it the request
+	// answers 400.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SimulateResult is the outcome of one simulated run.
@@ -276,6 +283,10 @@ type SimulateResult struct {
 	// only when the request selected one.
 	Topology  string `json:"topology,omitempty"`
 	Placement string `json:"placement,omitempty"`
+	// TraceArtifact names this run's Chrome trace artifact (fetch it from
+	// GET /v1/jobs/{id}/artifacts/{name}), present only when the request
+	// set "trace": true.
+	TraceArtifact string `json:"traceArtifact,omitempty"`
 }
 
 // JobResponse reports an async job's state; it is the body of the
@@ -292,6 +303,37 @@ type JobResponse struct {
 	// Error holds the failure message when Status is "failed" or
 	// "cancelled".
 	Error string `json:"error,omitempty"`
+	// Artifacts lists the job's durable artifacts (present only on GET
+	// /v1/jobs/{id} responses when the job has any); fetch each from
+	// GET /v1/jobs/{id}/artifacts/{name}.
+	Artifacts []ArtifactJSON `json:"artifacts,omitempty"`
+}
+
+// ArtifactJSON describes one durable job artifact.
+type ArtifactJSON struct {
+	// Name is the artifact's name within its job.
+	Name string `json:"name"`
+	// Size is the content length in bytes.
+	Size int64 `json:"size"`
+	// SHA256 is the content's hex digest — also the ETag and
+	// X-Checksum-Sha256 of the content response.
+	SHA256 string `json:"sha256"`
+	// ContentType is the MIME type the content is served with.
+	ContentType string `json:"contentType"`
+	// Created is when the artifact was written (UTC).
+	Created time.Time `json:"created"`
+}
+
+// ArtifactListResponse is the body of GET /v1/jobs/{id}/artifacts. It
+// answers from the artifact catalog, which outlives job retention: a job
+// whose metadata is already evicted (404 from GET /v1/jobs/{id}) still
+// lists — and serves — its artifacts here.
+type ArtifactListResponse struct {
+	// Job is the job id the listing is for.
+	Job string `json:"job"`
+	// Artifacts is the catalog, sorted by name; empty when the job wrote
+	// none (or never existed — the catalog cannot tell).
+	Artifacts []ArtifactJSON `json:"artifacts"`
 }
 
 // EnvelopeError locates one failed problem inside a v1 envelope response:
@@ -412,4 +454,9 @@ type VarsResponse struct {
 	// WordsSimulated accumulates the network-wide words moved by completed
 	// simulations.
 	WordsSimulated float64 `json:"wordsSimulated"`
+	// ArtifactsWritten, ArtifactBytes, and ArtifactFetches count durable
+	// artifact writes, their total bytes, and content fetches served.
+	ArtifactsWritten int64 `json:"artifactsWritten"`
+	ArtifactBytes    int64 `json:"artifactBytes"`
+	ArtifactFetches  int64 `json:"artifactFetches"`
 }

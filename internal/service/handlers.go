@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -114,8 +115,11 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 		JobsInFlight:   s.jobs.InFlight(),
 		JobsTotal:      int(s.jobsTotal.Load()),
 		JobsByState:    byState,
-		JobsEvicted:    s.jobs.Evicted(),
-		WordsSimulated: s.WordsSimulated(),
+		JobsEvicted:      s.jobs.Evicted(),
+		WordsSimulated:   s.WordsSimulated(),
+		ArtifactsWritten: s.artifactsWritten.Load(),
+		ArtifactBytes:    s.artifactBytes.Load(),
+		ArtifactFetches:  s.artifactFetches.Load(),
 	})
 }
 
@@ -398,6 +402,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if req.Trace && s.artifacts == nil {
+		writeBadRequest(w, `"trace": true requires artifact storage (start the server with an artifact store, e.g. parmmd -artifact-dir)`)
+		return
+	}
 	// Validate everything synchronously so taxonomy errors come back on
 	// the submit, not buried in a failed job. The topology spec is sized
 	// against each problem's own P, so in a batch it must fit every entry.
@@ -431,6 +439,18 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// traceName names the per-problem trace artifact: the single form gets
+	// the stable "trace.json", multi-problem forms index by position.
+	multi := len(problems) > 1 || envelope || batch
+	traceName := func(i int) string {
+		if !req.Trace {
+			return ""
+		}
+		if multi {
+			return fmt.Sprintf("trace-%d.json", i)
+		}
+		return "trace.json"
+	}
 	id, err := s.jobs.Submit(func(ctx context.Context) (any, error) {
 		if envelope {
 			// Partial success: each problem's failure is recorded at its
@@ -440,7 +460,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 				err error
 			}
 			outcomes, err := experiments.MapContext(ctx, len(problems), func(i int) (outcome, error) {
-				res, err := s.simulateOne(ctx, entry, problems[i], req, opts)
+				res, err := s.simulateOne(ctx, entry, problems[i], req, opts, traceName(i))
 				if err != nil && ctx.Err() != nil {
 					return outcome{}, err
 				}
@@ -450,23 +470,34 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			env := Envelope[SimulateResult]{Results: make([]*SimulateResult, len(problems))}
+			var rows []SimulateResult
 			for i := range outcomes {
 				if e := outcomes[i].err; e != nil {
 					env.Errors = append(env.Errors, EnvelopeError{Index: i, Code: kindFor(e), Message: e.Error()})
 					continue
 				}
 				env.Results[i] = &outcomes[i].res
+				rows = append(rows, outcomes[i].res)
+			}
+			if err := s.writeResultArtifacts(ctx, env, rows); err != nil {
+				return nil, err
 			}
 			return env, nil
 		}
 		results, err := experiments.MapContext(ctx, len(problems), func(i int) (SimulateResult, error) {
-			return s.simulateOne(ctx, entry, problems[i], req, opts)
+			return s.simulateOne(ctx, entry, problems[i], req, opts, traceName(i))
 		})
 		if err != nil {
 			return nil, err
 		}
 		if !batch {
+			if err := s.writeResultArtifacts(ctx, results[0], results); err != nil {
+				return nil, err
+			}
 			return results[0], nil
+		}
+		if err := s.writeResultArtifacts(ctx, results, results); err != nil {
+			return nil, err
 		}
 		return results, nil
 	})
@@ -481,11 +512,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // simulateOne runs one simulation point. ctx is honored at the point
 // boundary: a cancelled job stops before starting the next point (a single
 // simulated run is not interruptible mid-flight; the limits keep runs
-// short).
-func (s *Server) simulateOne(ctx context.Context, entry algs.Entry, p Problem, req SimulateRequest, opts algs.Opts) (SimulateResult, error) {
+// short). A non-empty traceName turns on event tracing and stores the
+// timeline as a Chrome trace artifact under that name; a trace that cannot
+// be stored fails the run — the trace was the point of the request.
+func (s *Server) simulateOne(ctx context.Context, entry algs.Entry, p Problem, req SimulateRequest, opts algs.Opts, traceName string) (SimulateResult, error) {
 	if err := ctx.Err(); err != nil {
 		return SimulateResult{}, err
 	}
+	opts.Trace = traceName != ""
 	var topoName, placeName string
 	if req.Topology != nil {
 		// opts is a per-call copy; sizing the fabric to this problem's P
@@ -524,6 +558,17 @@ func (s *Server) simulateOne(ctx context.Context, entry algs.Entry, p Problem, r
 	if req.Verify {
 		diff := res.C.MaxAbsDiff(matrix.Mul(a, b))
 		out.MaxAbsDiff = &diff
+	}
+	if traceName != "" {
+		if res.Trace == nil {
+			return SimulateResult{}, fmt.Errorf("service: %s produced no trace", entry.Name)
+		}
+		if _, err := s.writeArtifact(ctx, traceName, "application/json", func(w io.Writer) error {
+			return res.Trace.WriteChromeTrace(w, p.P)
+		}); err != nil {
+			return SimulateResult{}, err
+		}
+		out.TraceArtifact = traceName
 	}
 	s.addWordsSimulated(res.Stats.TotalWordsSent)
 	return out, nil
@@ -580,7 +625,11 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		writeNotFound(w, "no job "+id)
 		return
 	}
-	writeJSON(w, http.StatusOK, jobResponseOf(view))
+	resp := jobResponseOf(view)
+	if view.Status == JobDone || view.Status == JobFailed {
+		resp.Artifacts = s.jobArtifacts(id)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {

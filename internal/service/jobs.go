@@ -66,8 +66,20 @@ type JobView struct {
 func (j *Job) Done() <-chan struct{} { return j.done }
 
 // JobFunc is the work a job performs. It must honor ctx: return ctx.Err()
-// (or an error wrapping it) promptly once the context is done.
+// (or an error wrapping it) promptly once the context is done. The ctx
+// carries the job's own id, readable with JobIDFrom — how a JobFunc names
+// the artifacts it writes without the runner knowing about storage.
 type JobFunc func(ctx context.Context) (any, error)
+
+// jobIDKey keys the executing job's id in its context.
+type jobIDKey struct{}
+
+// JobIDFrom returns the id of the job whose JobFunc is executing under
+// ctx, and whether ctx belongs to a job at all.
+func JobIDFrom(ctx context.Context) (string, bool) {
+	id, ok := ctx.Value(jobIDKey{}).(string)
+	return id, ok
+}
 
 // Runner executes jobs on a bounded worker pool with per-job
 // cancellation and deadline. It is the service's async half: Submit
@@ -263,7 +275,7 @@ func (r *Runner) execute(j *Job) {
 		r.mu.Unlock()
 		return
 	}
-	ctx := context.Background()
+	ctx := context.WithValue(context.Background(), jobIDKey{}, j.id)
 	var cancel context.CancelFunc
 	if r.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, r.timeout)
@@ -309,10 +321,13 @@ func (r *Runner) Get(id string) (JobView, bool) {
 }
 
 // Wait returns the job channel closed at completion, or false for an
-// unknown id.
+// unknown id. Like every other accessor it applies the retention policy
+// first, so it can never hand out a done channel for an id that Get and
+// the HTTP API already report as evicted.
 func (r *Runner) Wait(id string) (<-chan struct{}, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.evictLocked(time.Now())
 	j, ok := r.jobs[id]
 	if !ok {
 		return nil, false

@@ -236,6 +236,37 @@ func TestRunnerRetentionTTL(t *testing.T) {
 	}
 }
 
+// TestRunnerWaitAppliesRetention is the regression test for Wait bypassing
+// the retention policy: it used to return a live done channel for ids that
+// Get, Len, Counts, and List (and therefore the whole HTTP API) already
+// reported as evicted. Wait must apply eviction first and agree with Get.
+func TestRunnerWaitAppliesRetention(t *testing.T) {
+	// An hour-long TTL keeps the janitor (which ticks at retain/4, capped
+	// at 30s) out of the test: backdating the finish time makes lazy
+	// eviction inside the accessor under test the only possible path.
+	r := NewRunnerConfig(RunnerConfig{Workers: 1, Retention: time.Hour})
+	defer r.Shutdown(context.Background())
+	id := submitAndWait(t, r, 1)
+	if _, ok := r.Wait(id); !ok {
+		t.Fatal("Wait lost a finished job before its TTL")
+	}
+	r.mu.Lock()
+	r.jobs[id].finished = time.Now().Add(-2 * time.Hour)
+	r.mu.Unlock()
+	// Wait runs first, so a lazily-evicting Get cannot be what removed
+	// the job.
+	done, ok := r.Wait(id)
+	if ok {
+		t.Fatalf("Wait returned a done channel (%v) for an expired job", done)
+	}
+	if _, ok := r.Get(id); ok {
+		t.Fatal("Get disagrees with Wait about the evicted job")
+	}
+	if n := r.Evicted(); n != 1 {
+		t.Errorf("Evicted() = %d, want 1", n)
+	}
+}
+
 // TestRunnerRetentionCap: with age-based eviction disabled, the cap bounds
 // the retained set and evicts oldest-first.
 func TestRunnerRetentionCap(t *testing.T) {

@@ -1,8 +1,10 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 
 	"repro/internal/core"
@@ -61,6 +63,27 @@ type PlanRequest struct {
 	// size, false forces one inline envelope (still subject to
 	// MaxPlanPoints). Absent, the server picks by total point count.
 	Stream *bool `json:"stream,omitempty"`
+	// Job runs the sweep asynchronously instead: the request answers 202
+	// with a job id, the sweep executes on the job pool, and the full
+	// NDJSON output (the same rows a streamed response carries) lands in
+	// the durable artifact plan.ndjson — fetchable, Range requests
+	// included, even after the job is evicted. Requires artifact storage;
+	// without it the request answers 400. Job ignores Stream.
+	Job bool `json:"job,omitempty"`
+}
+
+// PlanJobResult is the job-table result of an async plan job (the rows
+// themselves are in the plan.ndjson artifact).
+type PlanJobResult struct {
+	// Problems is the number of planning problems swept.
+	Problems int `json:"problems"`
+	// Points is the total point-row count across problems.
+	Points int `json:"points"`
+	// Errors carries per-problem runtime failures, indexed like the
+	// request's problems list.
+	Errors []EnvelopeError `json:"errors,omitempty"`
+	// Artifact names the NDJSON artifact holding every row.
+	Artifact string `json:"artifact"`
 }
 
 // PlanResult is one problem's full plan in the inline envelope.
@@ -167,6 +190,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	if req.Job {
+		s.submitPlanJob(w, reqs)
+		return
+	}
 	stream := total > s.cfg.PlanInlineLimit
 	if req.Stream != nil {
 		stream = *req.Stream
@@ -176,6 +203,66 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.inlinePlan(w, r, reqs)
+}
+
+// submitPlanJob runs the validated sweep on the job pool, writing every
+// NDJSON row into the plan.ndjson artifact. The job's result records the
+// point count and any per-problem runtime failures; the rows themselves
+// live only in the artifact, which survives job eviction.
+func (s *Server) submitPlanJob(w http.ResponseWriter, reqs []plan.Request) {
+	if s.artifacts == nil {
+		writeBadRequest(w, `"job": true requires artifact storage (start the server with an artifact store, e.g. parmmd -artifact-dir)`)
+		return
+	}
+	id, err := s.jobs.Submit(func(ctx context.Context) (any, error) {
+		pl := s.planner()
+		result := PlanJobResult{Problems: len(reqs), Artifact: "plan.ndjson"}
+		_, err := s.writeArtifact(ctx, "plan.ndjson", "application/x-ndjson", func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetEscapeHTML(false)
+			for i, pr := range reqs {
+				sum, err := plan.Summarize(pr)
+				if err == nil {
+					if err = enc.Encode(PlanRow{Problem: i, Summary: &sum}); err != nil {
+						return err
+					}
+					n := 0
+					_, err = pl.Sweep(ctx, pr, planChunk, func(chunk []plan.Point) error {
+						for j := range chunk {
+							if encErr := enc.Encode(PlanRow{Problem: i, Point: &chunk[j]}); encErr != nil {
+								return encErr
+							}
+						}
+						n += len(chunk)
+						return nil
+					})
+					result.Points += n
+					s.planPoints.Add(int64(n))
+				}
+				if err != nil {
+					if ctx.Err() != nil {
+						return err // cancelled job: fail, don't persist a truncated sweep
+					}
+					ee := EnvelopeError{Index: i, Code: kindFor(err), Message: err.Error()}
+					result.Errors = append(result.Errors, ee)
+					if encErr := enc.Encode(PlanRow{Problem: i, Error: &ee}); encErr != nil {
+						return encErr
+					}
+				}
+			}
+			return enc.Encode(PlanRow{Done: true})
+		})
+		if err != nil {
+			return nil, err
+		}
+		return result, nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.jobsTotal.Add(1)
+	writeJSON(w, http.StatusAccepted, JobResponse{ID: id, Status: string(JobQueued)})
 }
 
 // inlinePlan evaluates every problem and answers one envelope. Runtime

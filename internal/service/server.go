@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Config tunes a Server. The zero value selects sensible defaults
@@ -92,6 +93,16 @@ type Config struct {
 	// duration). Each response also carries the id in X-Request-ID,
 	// honoring an inbound header of that name for end-to-end correlation.
 	AccessLog io.Writer
+	// ArtifactStore, when non-nil, enables durable job artifacts: jobs
+	// write large outputs (Chrome traces, batch CSVs, plan NDJSON) into
+	// the store, served by GET /v1/jobs/{id}/artifacts[/{name}] with
+	// Range support — and, unlike job metadata, surviving retention
+	// eviction. Nil disables artifacts; requests that need them (e.g.
+	// "trace": true) then answer 400.
+	ArtifactStore store.Store
+	// MaxArtifactBytes caps a single artifact; ≤ 0 selects
+	// store.DefaultMaxArtifactBytes (64 MiB).
+	MaxArtifactBytes int64
 }
 
 // withDefaults fills the zero fields.
@@ -188,6 +199,13 @@ type Server struct {
 	// planPoints counts plan points served (inline and streamed).
 	planPoints atomic.Int64
 
+	// artifacts is the content-addressed catalog over Config.ArtifactStore;
+	// nil when artifacts are disabled.
+	artifacts        *store.Artifacts
+	artifactsWritten atomic.Int64
+	artifactBytes    atomic.Int64
+	artifactFetches  atomic.Int64
+
 	requests  atomic.Int64
 	reqID     atomic.Int64
 	jobsTotal atomic.Int64
@@ -216,6 +234,9 @@ func New(cfg Config) *Server {
 	if cfg.AccessLog != nil {
 		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
 	}
+	if cfg.ArtifactStore != nil {
+		s.artifacts = store.NewArtifacts(cfg.ArtifactStore, cfg.MaxArtifactBytes)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -228,6 +249,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/artifacts", s.handleArtifactList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name}", s.handleArtifactGet)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -302,6 +325,15 @@ func (s *Server) registerMetrics() {
 	s.reg.CounterFunc("service_words_simulated_total",
 		"Network-wide words moved by completed simulations.",
 		s.WordsSimulated)
+	s.reg.CounterFunc("service_artifacts_written_total",
+		"Job artifacts written to the artifact store.",
+		func() float64 { return float64(s.artifactsWritten.Load()) })
+	s.reg.CounterFunc("service_artifact_bytes_total",
+		"Bytes of job artifacts written to the artifact store.",
+		func() float64 { return float64(s.artifactBytes.Load()) })
+	s.reg.CounterFunc("service_artifact_fetches_total",
+		"Artifact content fetches served (full and ranged).",
+		func() float64 { return float64(s.artifactFetches.Load()) })
 
 	s.latency = make(map[string]*obs.Histogram)
 	for _, pattern := range []string{
@@ -309,6 +341,7 @@ func (s *Server) registerMetrics() {
 		"POST /v1/lowerbound", "POST /v1/grid", "POST /v1/predict",
 		"POST /v1/plan", "POST /v1/simulate",
 		"GET /v1/jobs", "GET /v1/jobs/{id}", "DELETE /v1/jobs/{id}",
+		"GET /v1/jobs/{id}/artifacts", "GET /v1/jobs/{id}/artifacts/{name}",
 		"other",
 	} {
 		s.latency[pattern] = s.reg.Histogram("service_request_seconds",
@@ -407,6 +440,10 @@ func (s *Server) Cache() *Cache { return s.cache }
 
 // Jobs exposes the job runner (for tests).
 func (s *Server) Jobs() *Runner { return s.jobs }
+
+// Registry exposes this server's metric registry, so a metrics pusher can
+// export the per-instance families alongside the process-wide obs.Default.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // addWordsSimulated accumulates the words-moved counter.
 func (s *Server) addWordsSimulated(words float64) {
