@@ -11,7 +11,8 @@ test:
 race:
 	$(GO) test -race ./internal/machine/... ./internal/collective/... \
 		./internal/experiments/... ./internal/obs/... ./internal/topo/... \
-		./internal/plan/... ./internal/service/... ./internal/store/...
+		./internal/plan/... ./internal/service/... ./internal/store/... \
+		./internal/hbl/...
 
 # Record the goroutine-vs-event scheduler head-to-head matrix
 # (P = 1024, 4096, 65536) to BENCH_engine_scaling.json. Same cells as

@@ -1,7 +1,8 @@
 // Command loadgen drives mixed traffic at a parmmd instance —
-// /v1/lowerbound and /v1/predict envelopes plus inline and streaming
-// /v1/plan sweeps — and records sustained throughput, latency percentiles,
-// and the singleflight dedup evidence to BENCH_serving.json.
+// /v1/lowerbound, /v1/predict, and generalized HBL /v1/bound envelopes
+// plus inline and streaming /v1/plan sweeps — and records sustained
+// throughput, latency percentiles, and the singleflight dedup evidence to
+// BENCH_serving.json.
 //
 //	loadgen -duration 10s -clients 8 -out BENCH_serving.json
 //
@@ -43,7 +44,7 @@ type outcome struct {
 
 // client loops over the traffic mix until ctx is done, appending one
 // outcome per request. epoch0 anchors the shared plan-epoch clock. With
-// artifacts on, every sixth request is an artifact round trip: submit a
+// artifacts on, every eighth request is an artifact round trip: submit a
 // traced simulation, poll the job, list its artifacts, and issue a ranged
 // GET against the trace — the serving path for durable job outputs.
 func client(ctx context.Context, base string, epoch0 time.Time, artifacts bool, out *[]outcome) {
@@ -53,17 +54,21 @@ func client(ctx context.Context, base string, epoch0 time.Time, artifacts bool, 
 			`{"problems":[{"n1":9600,"n2":2400,"n3":600,"p":512},{"n1":2000,"n2":2000,"n3":2000,"p":64},{"n1":100,"n2":100,"n3":100,"p":8}]}`},
 		{"POST /v1/predict", "/v1/predict",
 			`{"problems":[{"n1":9600,"n2":2400,"n3":600,"p":512,"alpha":1e-6,"beta":1e-9,"gamma":1e-11},{"n1":64,"n2":64,"n3":64,"p":8,"beta":1}]}`},
+		{"POST /v1/bound", "/v1/bound",
+			`{"problems":[{"program":"A[i,k]*B[k,j] -> C[i,j] | i=9600 k=600 j=2400","p":512},` +
+				`{"program":"F[i] += X[i]*Y[j] | i=4096 j=4096","p":64},` +
+				`{"program":"A[a1,a2,c1]*B[c1,b1] -> C[a1,a2,b1] | a1=48 a2=48 c1=48 b1=48","p":27}]}`},
 	}
 	for i := 0; ctx.Err() == nil; i++ {
 		var endpoint, path, body string
 		stream := false
-		if artifacts && i%6 == 4 {
+		if artifacts && i%8 == 5 {
 			start := time.Now()
 			ok := artifactRoundTrip(ctx, hc, base)
 			*out = append(*out, outcome{endpoint: "artifact round-trip", latency: time.Since(start), ok: ok})
 			continue
 		}
-		if i%3 == 2 {
+		if i%4 == 3 {
 			// Every client sleeps to the next epoch boundary and then fires
 			// the identical plan request over a key space nobody has
 			// computed before: a synchronized burst of concurrent cold
@@ -84,7 +89,7 @@ func client(ctx context.Context, base string, epoch0 time.Time, artifacts bool, 
 				`{"problems":[{"n1":2000,"n2":2000,"n3":2000,"mem":%d,"pMin":100000,"pMax":104999}],"stream":%v}`,
 				10000+epoch, stream)
 		} else {
-			b := bodies[i%3]
+			b := bodies[i%4]
 			endpoint, path, body = b.endpoint, b.path, b.body
 		}
 		start := time.Now()

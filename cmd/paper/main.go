@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single artifact (table1|lemma2|bounds|fig1|fig2|tight|algs|scaling|memory|geometry|carma|extension|fastmm|models|caps|memtradeoff|topology|fabricscale)")
+	only := flag.String("only", "", "run a single artifact (table1|lemma2|bounds|fig1|fig2|tight|algs|scaling|memory|geometry|carma|extension|fastmm|models|caps|memtradeoff|topology|hbl|fabricscale)")
 	csvDir := flag.String("csv", "", "directory to write <id>.csv files into")
 	jsonOut := flag.Bool("json", false, "emit the artifacts as a JSON array instead of text")
 	list := flag.Bool("list", false, "list the available artifact names and exit")
@@ -38,7 +38,7 @@ func main() {
 		for _, name := range []string{
 			"table1", "lemma2", "bounds", "fig1", "fig2", "tight", "algs",
 			"scaling", "memory", "geometry", "carma", "extension", "fastmm",
-			"models", "caps", "memtradeoff", "topology", "fabricscale",
+			"models", "caps", "memtradeoff", "topology", "hbl", "fabricscale",
 		} {
 			fmt.Println(name)
 		}
@@ -138,6 +138,9 @@ func selectArtifacts(only string) ([]experiments.Artifact, error) {
 		return []experiments.Artifact{a}, err
 	case "topology":
 		a, err := experiments.TopologySweep()
+		return []experiments.Artifact{a}, err
+	case "hbl":
+		a, err := experiments.HBLPrograms()
 		return []experiments.Artifact{a}, err
 	case "fabricscale":
 		// The datacenter-scale payoff run: P = 65536 on the event engine,

@@ -53,4 +53,9 @@ var (
 	// processor range, a negative stride, a range expanding past the point
 	// budget, or a fixed-size topology asked to span several P.
 	ErrBadPlanRange = core.ErrBadPlanRange
+
+	// ErrBadProgram marks an invalid HBL array program (ParseProgram or
+	// BoundForProgram failures): malformed DSL text, duplicate or unknown
+	// names, an index no array references, missing or oversized extents.
+	ErrBadProgram = core.ErrBadProgram
 )

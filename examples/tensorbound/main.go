@@ -1,10 +1,12 @@
-// Tensorbound: the paper's §6.3 extension in action. The lower-bound
-// technique — sum of projections, Loomis-Whitney product constraint,
-// per-array access bounds, solved by water-filling — applies verbatim to
-// higher-dimensional cuboid iteration spaces. Here a 4-dimensional
-// computation (three input arrays and one output, each omitting one index)
-// gets its generalized bound, and the generalized
-// All-Gather/Reduce-Scatter algorithm attains it exactly in simulation.
+// Tensorbound: the paper's §6.3 extension in action, driven through the
+// generalized HBL array-program engine. The 4-dimensional cuboid
+// computation — three input arrays and one output, array j indexed by all
+// dims except j — is declared as a typed hbl.Program; the exact-rational
+// LP solver recovers σ_HBL = 4/3 (every s_j = 1/3), and the
+// memory-independent constant layer reproduces the dedicated
+// internal/extension water-filling bound bit-for-bit. The generalized
+// All-Gather/Reduce-Scatter algorithm then attains the bound exactly in
+// simulation.
 //
 //	go run ./examples/tensorbound
 package main
@@ -14,21 +16,52 @@ import (
 	"log"
 
 	"repro/internal/extension"
+	"repro/internal/hbl"
 	"repro/internal/machine"
 )
 
 func main() {
-	pr, err := extension.NewProblem(32, 16, 16, 8)
+	dims := []int{32, 16, 16, 8}
+
+	// The same computation, declared twice: as the dedicated cuboid
+	// problem of internal/extension, and as a generic array program.
+	pr, err := extension.NewProblem(dims...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	prog := hbl.Cuboid(dims...)
+	exp, err := hbl.Solve(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("4-dimensional cuboid computation, dims %v\n", pr.N)
-	fmt.Printf("arrays: 3 inputs + 1 output, array j indexed by all dims except j\n")
+	fmt.Printf("as an array program: %s\n", prog)
+	fmt.Printf("HBL exponents: σ = %s (each array s_j = %s), footprint exponent 1/σ = %s\n",
+		exp.Sigma.RatString(), exp.S[0].RatString(), exp.BoundExponent().RatString())
 	fmt.Printf("total one-copy data: %.0f words, %.0f multiply-accumulates\n\n", pr.TotalWords(), pr.Volume())
 
 	fmt.Printf("%-8s %-12s %-10s %14s %14s %10s %14s\n",
 		"P", "free vars", "grid", "measured", "bound", "ratio", "KKT residual")
 	for _, p := range []int{1, 4, 16, 64} {
+		// The generic engine must agree with the dedicated solver
+		// bit-for-bit: same share, same water-filling arithmetic.
+		b, err := hbl.MemIndependentBound(prog, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		footprint, free := pr.DataFootprint(p)
+		bound := pr.LowerBound(p)
+		if b.Footprint != footprint || b.LowerBound != bound || b.FreeArrays != free {
+			log.Fatalf("P=%d: HBL engine (footprint %v, bound %v, free %d) != extension (%v, %v, %d)",
+				p, b.Footprint, b.LowerBound, b.FreeArrays, footprint, bound, free)
+		}
+		for j := range prog.Arrays {
+			if got, want := prog.ArraySize(j), pr.ArraySize(j); got != want {
+				log.Fatalf("P=%d: array %d size %v != %v", p, j, got, want)
+			}
+		}
+
 		g := extension.Optimal(pr, p)
 		res, err := extension.Run(pr, g, 13, machine.BandwidthOnly())
 		if err != nil {
@@ -42,8 +75,6 @@ func main() {
 				log.Fatalf("P=%d: wrong result at %d", p, i)
 			}
 		}
-		_, free := pr.DataFootprint(p)
-		bound := pr.LowerBound(p)
 		ratio := 1.0
 		if bound > 0 {
 			ratio = res.Stats.CommCost() / bound
@@ -51,6 +82,7 @@ func main() {
 		fmt.Printf("%-8d %-12s %-10v %14.0f %14.0f %10.4f %14.2e\n",
 			p, fmt.Sprintf("%d of 4", free), g, res.Stats.CommCost(), bound, ratio, pr.KKTCertificate(p))
 	}
-	fmt.Println("\nthe d = 3 instance of this machinery is exactly Theorem 3; the case")
+	fmt.Println("\ngeneric HBL engine and dedicated §6.3 solver agree bit-exactly at every P.")
+	fmt.Println("the d = 3 instance of this machinery is exactly Theorem 3; the case")
 	fmt.Println("structure generalizes to 'how many arrays are pinned at their access bounds'.")
 }

@@ -1,0 +1,89 @@
+package parmm
+
+import (
+	"math/big"
+
+	"repro/internal/hbl"
+)
+
+// The generalized array-program layer: Hölder-Brascamp-Lieb communication
+// lower bounds for any nested-loop program referencing arrays via subsets
+// of the loop indices (Christ-Demmel-Knight-Scanlon-Yelick, arXiv
+// 1308.0068). Matmul is the special case the rest of this package serves
+// with closed forms; BoundForProgram handles tensor contractions, n-body,
+// convolutions, and anything else the DSL expresses:
+//
+//	p, _ := parmm.ParseProgram("A[i,k]*B[k,j] -> C[i,j] | i=9600 k=600 j=2400")
+//	b, _ := parmm.BoundForProgram(p, 512)
+//	// b.Exponent == 2/3, b.LowerBound == parmm.LowerBound(dims, 512)
+
+// Program is a typed nested-loop array program: loop indices (optionally
+// with extents), array references with their index subsets, and an output
+// designation.
+type Program = hbl.Program
+
+// ProgramArray is one array reference of a Program.
+type ProgramArray = hbl.Array
+
+// ProgramExponents is the exact solution of a program's HBL linear
+// program: σ_HBL, per-array exponents, and the dual certificate, all in
+// exact rationals with a zero duality gap.
+type ProgramExponents = hbl.Exponents
+
+// ProgramBound is the memory-independent communication lower bound for a
+// program on P processors: the Theorem 3 generalization, with FreeArrays
+// extending the paper's Case 1/2/3 index.
+type ProgramBound = hbl.Bound
+
+// ParseProgram parses the textual program DSL:
+// "A[i,k]*B[k,j] -> C[i,j] | i=9600 k=600 j=2400" or loop-body style
+// "C[i,j] += A[i,k]*B[k,j]". Failures wrap ErrBadProgram.
+func ParseProgram(src string) (Program, error) { return hbl.ParseProgram(src) }
+
+// SolveProgram computes the program's optimal HBL exponents exactly: the
+// minimal σ = Σ s_j with every loop index covered by total exponent ≥ 1.
+// The per-processor footprint bound is (volume/P)^{1/σ}.
+func SolveProgram(p Program) (ProgramExponents, error) { return hbl.Solve(p) }
+
+// BoundForProgram returns the memory-independent lower bound for the
+// program on p processors: the optimal footprint under the HBL constraint
+// and the Lemma 1 per-array access bounds, minus the one-copy footprint
+// over P. The program must carry extents. On matmul and cuboid programs it
+// reproduces LowerBound and the internal extension package exactly.
+func BoundForProgram(prog Program, p int) (ProgramBound, error) {
+	return hbl.MemIndependentBound(prog, p)
+}
+
+// ProgramSigma returns the program's σ_HBL as an exact rational.
+func ProgramSigma(p Program) (*big.Rat, error) {
+	e, err := hbl.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	return e.Sigma, nil
+}
+
+// MatMulProgram returns classical matmul C[i,j] += A[i,k]·B[k,j] as a
+// Program (σ = 3/2, exponent 2/3, Theorem 3's constants).
+func MatMulProgram(m, n, k int) Program { return hbl.MatMul(m, n, k) }
+
+// CuboidProgram returns the d-dimensional cuboid computation of §6.3 —
+// one array per omitted dimension — matching the internal extension
+// package array-for-array (σ = d/(d−1)).
+func CuboidProgram(dims ...int) Program { return hbl.Cuboid(dims...) }
+
+// TensorContractionProgram returns a binary tensor contraction
+// C[a…,b…] += A[a…,c…]·B[c…,b…] with the given free and contracted extent
+// groups (σ = 3/2 whenever all groups are non-empty).
+func TensorContractionProgram(freeA, freeB, contracted []int) Program {
+	return hbl.TensorContraction(freeA, freeB, contracted)
+}
+
+// NBodyProgram returns the all-pairs n-body interaction F[i] += f(X[i],
+// Y[j]) (σ = 2: the classic √(n²/P) footprint bound).
+func NBodyProgram(n int) Program { return hbl.NBody(n) }
+
+// Conv2DProgram returns a direct 2-D convolution over an h×w output and
+// kh×kw kernel under the shift-dropping subset approximation (σ = 2); see
+// the internal hbl package for the approximation's exact caveat.
+func Conv2DProgram(h, w, kh, kw int) Program { return hbl.Conv2D(h, w, kh, kw) }

@@ -1,0 +1,77 @@
+package parmm_test
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"testing"
+
+	parmm "repro"
+)
+
+// TestProgramFacade drives the generalized bound layer through the public
+// API: parse, solve, bound, and the collapse onto the matmul closed forms.
+func TestProgramFacade(t *testing.T) {
+	prog, err := parmm.ParseProgram("A[i,k]*B[k,j] -> C[i,j] | i=9600 k=600 j=2400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := parmm.ProgramSigma(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigma.Cmp(big.NewRat(3, 2)) != 0 {
+		t.Fatalf("σ = %v, want 3/2", sigma)
+	}
+	b, err := parmm.BoundForProgram(prog, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := parmm.NewDims(9600, 600, 2400)
+	want := parmm.LowerBound(d, 512)
+	if math.Abs(b.LowerBound-want) > 1e-9*(1+want) {
+		t.Fatalf("program bound %v, closed form %v", b.LowerBound, want)
+	}
+	if b.FreeArrays != int(parmm.CaseOf(d, 512)) {
+		t.Fatalf("FreeArrays = %d, want the Theorem 3 case %v", b.FreeArrays, parmm.CaseOf(d, 512))
+	}
+
+	if _, err := parmm.ParseProgram("not a program"); !errors.Is(err, parmm.ErrBadProgram) {
+		t.Fatalf("ParseProgram garbage: %v, want ErrBadProgram", err)
+	}
+	if _, err := parmm.BoundForProgram(parmm.Program{}, 4); !errors.Is(err, parmm.ErrBadProgram) {
+		t.Fatalf("BoundForProgram empty: %v, want ErrBadProgram", err)
+	}
+}
+
+// TestProgramConstructors sanity-checks the zoo's exponents through the
+// facade constructors.
+func TestProgramConstructors(t *testing.T) {
+	cases := []struct {
+		name  string
+		p     parmm.Program
+		sigma *big.Rat
+	}{
+		{"matmul", parmm.MatMulProgram(64, 64, 64), big.NewRat(3, 2)},
+		{"cuboid-4", parmm.CuboidProgram(32, 16, 16, 8), big.NewRat(4, 3)},
+		{"contraction", parmm.TensorContractionProgram([]int{8, 8}, []int{8}, []int{8, 8}), big.NewRat(3, 2)},
+		{"nbody", parmm.NBodyProgram(4096), big.NewRat(2, 1)},
+		{"conv2d", parmm.Conv2DProgram(256, 256, 3, 3), big.NewRat(2, 1)},
+	}
+	for _, tc := range cases {
+		sigma, err := parmm.ProgramSigma(tc.p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if sigma.Cmp(tc.sigma) != 0 {
+			t.Errorf("%s: σ = %v, want %v", tc.name, sigma, tc.sigma)
+		}
+		b, err := parmm.BoundForProgram(tc.p, 64)
+		if err != nil {
+			t.Fatalf("%s: bound: %v", tc.name, err)
+		}
+		if b.Footprint < math.Pow(b.Volume/64, b.Exponent)*(1-1e-12) {
+			t.Errorf("%s: footprint %v under the HBL floor", tc.name, b.Footprint)
+		}
+	}
+}

@@ -50,4 +50,14 @@ var (
 	// negative stride, a range too large for the serving limits, or a
 	// fixed-size topology spec asked to span more than one processor count.
 	ErrBadPlanRange = errors.New("invalid plan range")
+
+	// ErrBadProgram marks an invalid HBL array program: no loop indices,
+	// duplicate index or array names, an array referencing an unknown or
+	// repeated index, a loop index no array refers to (the HBL linear
+	// program is infeasible there — no product of projections can bound the
+	// iteration space), extents that are missing where a bound needs them,
+	// non-positive, or so large their product exceeds 2^53, or a program
+	// over the size caps the exact-rational solver accepts. The HTTP service
+	// maps it to 400 with kind "bad_program".
+	ErrBadProgram = errors.New("invalid array program")
 )

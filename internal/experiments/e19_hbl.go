@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hbl"
+	"repro/internal/report"
+)
+
+// HBLPrograms runs the generalized HBL bound engine over the array-program
+// zoo. The first table reports each program's exact LP solution — σ_HBL,
+// the per-array exponents s_j, and the footprint exponent 1/σ — and the
+// second sweeps matmul across the three Theorem 3 regimes, checking that
+// the generalized memory-independent constants collapse onto the paper's
+// closed-form 1/2/3-free-array bounds.
+func HBLPrograms() (Artifact, error) {
+	zoo := []struct {
+		name string
+		p    hbl.Program
+	}{
+		{"matmul 9600×2400×600", hbl.MatMul(9600, 2400, 600)},
+		{"cuboid d=4 (§6.3)", hbl.Cuboid(32, 16, 16, 8)},
+		{"tensor contraction (2,1,2)", hbl.TensorContraction([]int{48, 48}, []int{48}, []int{48, 48})},
+		{"n-body n=4096", hbl.NBody(4096)},
+		{"conv2d 256×256 ⋆ 3×3", hbl.Conv2D(256, 256, 3, 3)},
+	}
+	exps := report.NewTable(
+		"HBL exponents across the program zoo (exact rationals)",
+		"program", "arrays", "σ_HBL", "per-array s", "exponent 1/σ", "footprint ≥ (V/P)^{1/σ}, P=64",
+	)
+	for _, z := range zoo {
+		e, err := hbl.Solve(z.p)
+		if err != nil {
+			return Artifact{}, fmt.Errorf("hbl %s: %w", z.name, err)
+		}
+		b, err := hbl.MemIndependentBound(z.p, 64)
+		if err != nil {
+			return Artifact{}, fmt.Errorf("hbl %s bound: %w", z.name, err)
+		}
+		ss := make([]string, len(e.S))
+		for j, s := range e.S {
+			ss[j] = fmt.Sprintf("%s=%s", z.p.Arrays[j].Name, s.RatString())
+		}
+		exps.AddRow(
+			z.name,
+			fmt.Sprintf("%d", len(z.p.Arrays)),
+			e.Sigma.RatString(),
+			strings.Join(ss, " "),
+			e.BoundExponent().RatString(),
+			report.Num(b.Footprint),
+		)
+	}
+
+	// Matmul across Theorem 3's three regimes: the generalized engine must
+	// reproduce the closed forms, with FreeArrays equal to the paper's case
+	// number.
+	m, n, k := 9600, 2400, 600
+	d := core.Dims{N1: m, N2: k, N3: n}
+	prog := hbl.MatMul(m, n, k)
+	mm := report.NewTable(
+		fmt.Sprintf("matmul %d×%d×%d: generalized constants vs Theorem 3 closed forms", m, n, k),
+		"P", "Theorem 3 case", "free arrays", "HBL bound", "closed form", "|rel err|",
+	)
+	for _, p := range []int{2, 16, 512} {
+		b, err := hbl.MemIndependentBound(prog, p)
+		if err != nil {
+			return Artifact{}, fmt.Errorf("hbl matmul P=%d: %w", p, err)
+		}
+		want := core.LowerBound(d, p)
+		relErr := 0.0
+		if want > 0 {
+			relErr = (b.LowerBound - want) / want
+			if relErr < 0 {
+				relErr = -relErr
+			}
+		}
+		cs := core.CaseOf(d, p)
+		if b.FreeArrays != int(cs) {
+			return Artifact{}, fmt.Errorf("hbl matmul P=%d: %d free arrays, Theorem 3 case %d", p, b.FreeArrays, cs)
+		}
+		if relErr > 1e-9 {
+			return Artifact{}, fmt.Errorf("hbl matmul P=%d: bound %v diverges from closed form %v", p, b.LowerBound, want)
+		}
+		mm.AddRow(
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%d", cs),
+			fmt.Sprintf("%d/3", b.FreeArrays),
+			report.Num(b.LowerBound),
+			report.Num(want),
+			fmt.Sprintf("%.2e", relErr),
+		)
+	}
+	note := "\nσ_HBL and the per-array exponents are solved exactly in rationals with a verified\nzero-duality-gap certificate; the cuboid row reproduces internal/extension bit-exactly\n(tested in internal/hbl).\n"
+	return Artifact{
+		ID:    "E19-hbl",
+		Title: "Generalized HBL array-program bounds (matmul pinned to Theorem 3)",
+		Text:  exps.String() + "\n" + mm.String() + note,
+		CSV:   exps.CSV(),
+	}, nil
+}

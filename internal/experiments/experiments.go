@@ -62,6 +62,7 @@ func AllContext(ctx context.Context) ([]Artifact, error) {
 		func() (Artifact, error) { return CAPSExperiment(56) },
 		func() (Artifact, error) { return MemoryTradeoff(DefaultRectDims, 512) },
 		func() (Artifact, error) { return TopologySweepContext(ctx) },
+		func() (Artifact, error) { return HBLPrograms() },
 	}
 	for _, step := range steps {
 		if err := ctx.Err(); err != nil {

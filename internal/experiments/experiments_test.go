@@ -228,7 +228,7 @@ func TestAllRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(arts) != 17 {
+	if len(arts) != 18 {
 		t.Fatalf("All returned %d artifacts", len(arts))
 	}
 	seen := map[string]bool{}

@@ -1,0 +1,239 @@
+package hbl
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/kkt"
+)
+
+// Bound is the memory-independent communication lower bound for a program
+// on P processors: the generalization of Theorem 3's constant layer beyond
+// matmul, using the program's optimal HBL exponents.
+type Bound struct {
+	// Exponents is the exact LP solution (σ, per-array s*, dual).
+	Exponents Exponents
+	// Sigma is σ_HBL as a float64.
+	Sigma float64
+	// Exponent is 1/σ: footprint ≥ (Volume/P)^Exponent.
+	Exponent float64
+	// Volume is the iteration-space size Π n_i.
+	Volume float64
+	// TotalWords is Σ_j Π_{i∈φ_j} n_i, the one-copy footprint of all arrays.
+	TotalWords float64
+	// AccessBounds holds the Lemma 1 per-array access bounds
+	// Π_{i∈φ_j} n_i / P, aligned with Program.Arrays.
+	AccessBounds []float64
+	// X holds the optimal per-array footprints x*_j of the Lemma 2
+	// generalization, aligned with Program.Arrays.
+	X []float64
+	// FreeArrays is the number of arrays governed by the water level rather
+	// than pinned at their access bound — the generalization of Theorem 3's
+	// case index (matmul: 1, 2, 3 in the paper's Cases 1, 2, 3).
+	FreeArrays int
+	// Footprint is Σ_j x*_j, the minimum per-processor data footprint.
+	Footprint float64
+	// LowerBound is Footprint − TotalWords/P: words each processor must
+	// communicate, in the memory-independent regime.
+	LowerBound float64
+}
+
+// MemIndependentBound computes the memory-independent lower bound for the
+// program on procs processors. The program must carry extents.
+//
+// The chain is the paper's, array-program generalized: the HBL inequality
+// with the optimal exponents s* bounds a processor's 1/P share of the
+// iteration space by Π_j x_j^{s*_j} ≥ V/P over its per-array footprints
+// x_j, Lemma 1 gives x_j ≥ Π_{i∈φ_j} n_i / P, and the footprint optimum
+//
+//	min Σ_j x_j   s.t.   Π_j x_j^{s*_j} ≥ V/P,   x_j ≥ access bound j
+//
+// is found by water-filling. When the positive exponents are all equal —
+// matmul, every cuboid, every symmetric contraction — the constraint is
+// rewritten as Π x_j ≥ (V/P)^{1/s} and handed to kkt.ProductMin verbatim,
+// which on cuboid programs reproduces internal/extension bit for bit (the
+// same L is formed by the same loop when 1/s is integral). Arrays with
+// s*_j = 0 do not appear in the product constraint, so they sit at their
+// access bounds; genuinely non-uniform exponents go through a weighted
+// water-filling with the same active-set structure.
+func MemIndependentBound(p Program, procs int) (Bound, error) {
+	if err := p.Validate(); err != nil {
+		return Bound{}, err
+	}
+	if len(p.Extents) == 0 {
+		return Bound{}, fmt.Errorf("hbl: a memory-independent bound needs extents for every index: %w", core.ErrBadProgram)
+	}
+	if procs < 1 {
+		return Bound{}, fmt.Errorf("hbl: processor count %d must be positive: %w", procs, core.ErrBadProcessorCount)
+	}
+	e, err := Solve(p)
+	if err != nil {
+		return Bound{}, err
+	}
+
+	fp := float64(procs)
+	m := len(p.Arrays)
+	b := Bound{
+		Exponents:    e,
+		Sigma:        e.SigmaFloat(),
+		Volume:       p.Volume(),
+		TotalWords:   p.TotalWords(),
+		AccessBounds: make([]float64, m),
+		X:            make([]float64, m),
+	}
+	b.Exponent = 1 / b.Sigma
+	for j := 0; j < m; j++ {
+		b.AccessBounds[j] = p.ArraySize(j) / fp
+	}
+	share := b.Volume / fp
+
+	// Partition arrays by exponent sign. Zero-exponent arrays are absent
+	// from the product constraint: minimizing Σ x_j pins them at their
+	// access bounds.
+	positive := make([]int, 0, m)
+	for j, s := range e.S {
+		if s.Sign() > 0 {
+			positive = append(positive, j)
+		} else {
+			b.X[j] = b.AccessBounds[j]
+		}
+	}
+	lower := make(kkt.Vector, len(positive))
+	for t, j := range positive {
+		lower[t] = b.AccessBounds[j]
+	}
+
+	if s, ok := uniformPositive(e.S, positive); ok {
+		// Π x_j^s ≥ share  ⇔  Π x_j ≥ share^(1/s). When 1/s is an integer w
+		// (matmul and cuboids: w = d−1), form L by multiplying share w
+		// times — the same arithmetic internal/extension performs, which is
+		// what makes the cuboid collapse bit-exact.
+		var l float64
+		if w, integral := intReciprocal(s); integral {
+			l = 1.0
+			for i := 0; i < w; i++ {
+				l *= share
+			}
+		} else {
+			inv, _ := new(big.Rat).Inv(s).Float64()
+			l = math.Pow(share, inv)
+		}
+		x, free := kkt.ProductMin{L: l, Lower: lower}.Solve()
+		for t, j := range positive {
+			b.X[j] = x[t]
+		}
+		b.FreeArrays = free
+	} else {
+		sf := make([]float64, len(positive))
+		for t, j := range positive {
+			sf[t], _ = e.S[j].Float64()
+		}
+		x, free := weightedWaterFill(sf, lower, math.Log(share))
+		for t, j := range positive {
+			b.X[j] = x[t]
+		}
+		b.FreeArrays = free
+	}
+
+	for _, x := range b.X {
+		b.Footprint += x
+	}
+	b.LowerBound = b.Footprint - b.TotalWords/fp
+	return b, nil
+}
+
+// uniformPositive reports whether all positive exponents are equal,
+// returning the common value. Compared exactly in rationals, so matmul and
+// cuboid programs always take the bit-exact ProductMin path.
+func uniformPositive(s []*big.Rat, positive []int) (*big.Rat, bool) {
+	if len(positive) == 0 {
+		return nil, false
+	}
+	first := s[positive[0]]
+	for _, j := range positive[1:] {
+		if s[j].Cmp(first) != 0 {
+			return nil, false
+		}
+	}
+	return first, true
+}
+
+// intReciprocal returns 1/s as an int when s is the reciprocal of a small
+// integer (s = 1/w with w ≤ MaxArrays·MaxIndices, generously above any
+// exponent the LP can produce for a capped program).
+func intReciprocal(s *big.Rat) (int, bool) {
+	inv := new(big.Rat).Inv(s)
+	if !inv.IsInt() {
+		return 0, false
+	}
+	w := inv.Num()
+	if !w.IsInt64() || w.Int64() < 1 || w.Int64() > int64(MaxArrays*MaxIndices) {
+		return 0, false
+	}
+	return int(w.Int64()), true
+}
+
+// weightedWaterFill minimizes Σ x_j subject to Σ s_j·ln x_j ≥ lnShare and
+// x_j ≥ lower_j > 0, for positive weights s. The KKT stationarity condition
+// gives x_j = μ·s_j for every variable off its bound, so the solver peels
+// an active set: start with every variable free, compute the water level μ
+// that makes the product constraint tight, pin every variable that μ would
+// push below its bound, and repeat. The set shrinks monotonically, so the
+// loop terminates; if the bounds alone satisfy the constraint the corner is
+// optimal and freeVars is 0. freeVars matches kkt.ProductMin's activeFree
+// semantics (and its values, when the weights are uniform).
+func weightedWaterFill(s []float64, lower kkt.Vector, lnShare float64) (x kkt.Vector, freeVars int) {
+	n := len(s)
+	x = lower.Clone()
+	corner := 0.0
+	for j := range x {
+		corner += s[j] * math.Log(lower[j])
+	}
+	if corner >= lnShare {
+		return x, 0
+	}
+	free := make([]bool, n)
+	freeVars = n
+	for j := range free {
+		free[j] = true
+	}
+	for {
+		// Water level for the current free set: Σ_F s_j ln(μ s_j) =
+		// lnShare − Σ_pinned s_j ln(lower_j).
+		target := lnShare
+		wsum := 0.0
+		for j := 0; j < n; j++ {
+			if free[j] {
+				wsum += s[j]
+				target -= s[j] * math.Log(s[j])
+			} else {
+				target -= s[j] * math.Log(lower[j])
+			}
+		}
+		if wsum == 0 {
+			// Everything pinned yet the corner was infeasible — cannot
+			// happen for positive weights; fall back to the corner.
+			return lower.Clone(), 0
+		}
+		lnMu := target / wsum
+		pinned := false
+		for j := 0; j < n; j++ {
+			if free[j] && lnMu+math.Log(s[j]) < math.Log(lower[j])-1e-12 {
+				free[j] = false
+				freeVars--
+				pinned = true
+			}
+		}
+		if pinned {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if free[j] {
+				x[j] = math.Exp(lnMu) * s[j]
+			}
+		}
+		return x, freeVars
+	}
+}

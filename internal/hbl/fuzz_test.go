@@ -1,0 +1,128 @@
+package hbl
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// programFromSeed derives a random program (≤6 indices, ≤5 arrays) from a
+// fuzzer-controlled seed. Index coverage is NOT enforced, so the generator
+// also exercises the validation path.
+func programFromSeed(seed int64) Program {
+	rng := rand.New(rand.NewSource(seed))
+	d := 1 + rng.Intn(6)
+	m := 1 + rng.Intn(5)
+	p := Program{Indices: make([]string, d), Arrays: make([]Array, m)}
+	names := []string{"i", "j", "k", "l", "u", "v"}
+	copy(p.Indices, names[:d])
+	for j := range p.Arrays {
+		a := Array{Name: string(rune('A' + j))}
+		for i := 0; i < d; i++ {
+			if rng.Intn(2) == 0 {
+				a.Indices = append(a.Indices, p.Indices[i])
+			}
+		}
+		if len(a.Indices) == 0 {
+			a.Indices = append(a.Indices, p.Indices[rng.Intn(d)])
+		}
+		p.Arrays[j] = a
+	}
+	return p
+}
+
+// FuzzSolve asserts, for random programs: the primal is feasible, the dual
+// gap is exactly zero in rationals, σ ≥ 1, and dropping any array never
+// decreases σ (equivalently, never increases the bound exponent 1/σ —
+// removing covering capacity can only shrink the feasible region).
+func FuzzSolve(f *testing.F) {
+	for seed := int64(0); seed < 64; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		p := programFromSeed(seed)
+		e, err := Solve(p)
+		if err != nil {
+			// The only legitimate failure on generated programs is an
+			// uncovered index (the generator does not force coverage).
+			if !errors.Is(err, core.ErrBadProgram) {
+				t.Fatalf("Solve: %v", err)
+			}
+			return
+		}
+
+		// Feasibility and the exact duality gap, from scratch.
+		if err := e.Verify(p); err != nil {
+			t.Fatalf("certificate: %v", err)
+		}
+		primal := new(big.Rat)
+		for _, s := range e.S {
+			primal.Add(primal, s)
+		}
+		dual := new(big.Rat)
+		for _, y := range e.Dual {
+			dual.Add(dual, y)
+		}
+		if gap := new(big.Rat).Sub(primal, dual); gap.Sign() != 0 {
+			t.Fatalf("duality gap %v ≠ 0 (Σs=%v Σy=%v)", gap, primal, dual)
+		}
+		if e.Sigma.Cmp(big.NewRat(1, 1)) < 0 {
+			t.Fatalf("σ = %v < 1", e.Sigma)
+		}
+
+		// Monotonicity: drop each array in turn.
+		for drop := range p.Arrays {
+			q := p
+			q.Arrays = make([]Array, 0, len(p.Arrays)-1)
+			q.Arrays = append(q.Arrays, p.Arrays[:drop]...)
+			q.Arrays = append(q.Arrays, p.Arrays[drop+1:]...)
+			q.Output = ""
+			eq, err := Solve(q)
+			if err != nil {
+				// Dropping the only array covering some index makes the LP
+				// infeasible; Validate must have said so.
+				if !errors.Is(err, core.ErrBadProgram) {
+					t.Fatalf("drop %d: %v", drop, err)
+				}
+				continue
+			}
+			if eq.Sigma.Cmp(e.Sigma) < 0 {
+				t.Fatalf("dropping array %d decreased σ: %v < %v", drop, eq.Sigma, e.Sigma)
+			}
+		}
+	})
+}
+
+// FuzzParseProgram asserts the parser never panics, only returns validated
+// programs, and that String∘ParseProgram is idempotent on accepted input.
+func FuzzParseProgram(f *testing.F) {
+	f.Add("A[i,k]*B[k,j] -> C[i,j]")
+	f.Add("C[i,j] += A[i,k]*B[k,j] | i=4 j=4 k=4")
+	f.Add("F[i] += X[i]*Y[j]")
+	f.Add("x")
+	f.Add("A[] -> B[]")
+	f.Add("A[i -> B[i] | i=9e9")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseProgram(src)
+		if err != nil {
+			if !errors.Is(err, core.ErrBadProgram) {
+				t.Fatalf("ParseProgram(%q) = %v, not ErrBadProgram", src, err)
+			}
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParseProgram(%q) returned invalid program: %v", src, err)
+		}
+		canon := p.String()
+		q, err := ParseProgram(canon)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", canon, err)
+		}
+		if q.String() != canon {
+			t.Fatalf("String not canonical: %q -> %q", canon, q.String())
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package hbl
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Exponents is the exact solution of a program's HBL linear program
+//
+//	minimize  σ = Σ_j s_j
+//	subject to Σ_{j : i ∈ φ_j} s_j ≥ 1  for every loop index i,  s_j ≥ 0,
+//
+// together with the optimal dual (the maximum packing y over indices with
+// Σ_{i∈φ_j} y_i ≤ 1 per array). All values are exact rationals; Solve
+// guarantees Σ s_j = Σ y_i identically, so the pair is a self-contained
+// optimality certificate — no tolerance anywhere.
+type Exponents struct {
+	// Sigma is the optimal value σ_HBL = Σ_j s_j ≥ 1.
+	Sigma *big.Rat
+	// S holds the optimal per-array exponents, aligned with Program.Arrays.
+	// The HBL inequality |V| ≤ Π_j |φ_j(V)|^{S_j} holds for every finite
+	// subset V of the iteration space.
+	S []*big.Rat
+	// Dual holds the optimal dual variables, aligned with Program.Indices.
+	Dual []*big.Rat
+}
+
+// BoundExponent returns 1/σ: the exponent of the iteration-space volume in
+// the per-processor footprint bound, footprint ≥ (V/P)^{1/σ}. Matmul gives
+// 2/3 — the (mnk)^{2/3} of Theorem 3.
+func (e Exponents) BoundExponent() *big.Rat {
+	return new(big.Rat).Inv(e.Sigma)
+}
+
+// SigmaFloat returns σ as a float64.
+func (e Exponents) SigmaFloat() float64 {
+	f, _ := e.Sigma.Float64()
+	return f
+}
+
+// SFloat returns the per-array exponents as float64s.
+func (e Exponents) SFloat() []float64 {
+	s := make([]float64, len(e.S))
+	for j, r := range e.S {
+		s[j], _ = r.Float64()
+	}
+	return s
+}
+
+// Verify re-checks the certificate against the program from scratch: primal
+// feasibility (every index covered with total exponent ≥ 1, s ≥ 0), dual
+// feasibility (Σ_{i∈φ_j} y_i ≤ 1 per array, y ≥ 0), and a zero duality gap
+// Σ s_j = σ = Σ y_i — all in exact rational arithmetic. A nil return is a
+// proof of optimality.
+func (e Exponents) Verify(p Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	d, m := len(p.Indices), len(p.Arrays)
+	if len(e.S) != m || len(e.Dual) != d {
+		return fmt.Errorf("hbl: certificate shape %d/%d does not match program %d/%d", len(e.S), len(e.Dual), m, d)
+	}
+	one := big.NewRat(1, 1)
+	primal := new(big.Rat)
+	for j, s := range e.S {
+		if s.Sign() < 0 {
+			return fmt.Errorf("hbl: exponent s[%d] = %v is negative", j, s)
+		}
+		primal.Add(primal, s)
+	}
+	dual := new(big.Rat)
+	for i, y := range e.Dual {
+		if y.Sign() < 0 {
+			return fmt.Errorf("hbl: dual y[%d] = %v is negative", i, y)
+		}
+		dual.Add(dual, y)
+	}
+	pos := p.indexOf()
+	cover := make([]*big.Rat, d)
+	for i := range cover {
+		cover[i] = new(big.Rat)
+	}
+	for j, a := range p.Arrays {
+		pack := new(big.Rat)
+		for _, name := range a.Indices {
+			i := pos[name]
+			cover[i].Add(cover[i], e.S[j])
+			pack.Add(pack, e.Dual[i])
+		}
+		if pack.Cmp(one) > 0 {
+			return fmt.Errorf("hbl: dual packing of array %q is %v > 1", a.Name, pack)
+		}
+	}
+	for i, c := range cover {
+		if c.Cmp(one) < 0 {
+			return fmt.Errorf("hbl: index %q covered with total exponent %v < 1", p.Indices[i], c)
+		}
+	}
+	if primal.Cmp(e.Sigma) != 0 || dual.Cmp(e.Sigma) != 0 {
+		return fmt.Errorf("hbl: duality gap: Σs = %v, σ = %v, Σy = %v", primal, e.Sigma, dual)
+	}
+	return nil
+}
+
+// Solve computes the optimal HBL exponents of the program exactly.
+//
+// It runs a primal simplex, in big.Rat arithmetic with Bland's rule, on the
+// dual packing form max{1ᵀy : Σ_{i∈φ_j} y_i ≤ 1 ∀j, y ≥ 0} — the slack
+// basis is feasible there (all right-hand sides are 1) and the feasible
+// region is bounded (every index lies in some array, so y_i ≤ 1), so no
+// phase-1 is needed and the method terminates at an optimum. The primal
+// exponents s* are read off as the reduced costs of the slack columns. The
+// returned certificate is re-verified from scratch; Validate failures are
+// returned as errors (wrapping core.ErrBadProgram) and certificate failures
+// panic, since after validation the LP is always feasible and bounded.
+func Solve(p Program) (Exponents, error) {
+	if err := p.Validate(); err != nil {
+		return Exponents{}, err
+	}
+	d, m := len(p.Indices), len(p.Arrays)
+	pos := p.indexOf()
+
+	// Tableau over columns [0,d) = y variables, [d,d+m) = slacks, last =
+	// right-hand side. Row 0 is kept separately as the reduced-cost row
+	// z_k − c_k (optimal when all entries are ≥ 0) with the objective value
+	// in its last cell. All cells are freshly allocated big.Rats and every
+	// pivot writes fresh Rats, so no value aliases another.
+	width := d + m + 1
+	rows := make([][]*big.Rat, m)
+	basis := make([]int, m)
+	for j, a := range p.Arrays {
+		row := make([]*big.Rat, width)
+		for k := range row {
+			row[k] = new(big.Rat)
+		}
+		for _, name := range a.Indices {
+			row[pos[name]].SetInt64(1)
+		}
+		row[d+j].SetInt64(1)
+		row[width-1].SetInt64(1)
+		rows[j] = row
+		basis[j] = d + j
+	}
+	obj := make([]*big.Rat, width)
+	for k := range obj {
+		obj[k] = new(big.Rat)
+	}
+	for i := 0; i < d; i++ {
+		obj[i].SetInt64(-1)
+	}
+
+	for iter := 0; ; iter++ {
+		if iter > 1<<16 {
+			panic("hbl: simplex did not terminate under Bland's rule")
+		}
+		// Bland's rule: enter the lowest-numbered improving column.
+		enter := -1
+		for k := 0; k < width-1; k++ {
+			if obj[k].Sign() < 0 {
+				enter = k
+				break
+			}
+		}
+		if enter < 0 {
+			break
+		}
+		// Ratio test, ties broken toward the lowest-numbered basic variable.
+		leave := -1
+		var best *big.Rat
+		for r := 0; r < m; r++ {
+			a := rows[r][enter]
+			if a.Sign() <= 0 {
+				continue
+			}
+			ratio := new(big.Rat).Quo(rows[r][width-1], a)
+			if leave < 0 || ratio.Cmp(best) < 0 ||
+				(ratio.Cmp(best) == 0 && basis[r] < basis[leave]) {
+				leave, best = r, ratio
+			}
+		}
+		if leave < 0 {
+			panic("hbl: simplex unbounded — impossible, every y_i is capped at 1")
+		}
+		pivot(rows, obj, basis, leave, enter)
+	}
+
+	e := Exponents{
+		Sigma: new(big.Rat).Set(obj[width-1]),
+		S:     make([]*big.Rat, m),
+		Dual:  make([]*big.Rat, d),
+	}
+	for j := 0; j < m; j++ {
+		e.S[j] = new(big.Rat).Set(obj[d+j])
+	}
+	for i := range e.Dual {
+		e.Dual[i] = new(big.Rat)
+	}
+	for r, b := range basis {
+		if b < d {
+			e.Dual[b] = new(big.Rat).Set(rows[r][width-1])
+		}
+	}
+	if err := e.Verify(p); err != nil {
+		panic(fmt.Sprintf("hbl: simplex produced an invalid certificate: %v", err))
+	}
+	return e, nil
+}
+
+// pivot performs one simplex pivot: row r is scaled so column k reads 1,
+// then eliminated from every other row and from the reduced-cost row.
+func pivot(rows [][]*big.Rat, obj []*big.Rat, basis []int, r, k int) {
+	pr := rows[r]
+	pv := new(big.Rat).Set(pr[k])
+	for c := range pr {
+		pr[c] = new(big.Rat).Quo(pr[c], pv)
+	}
+	eliminate := func(row []*big.Rat) {
+		f := new(big.Rat).Set(row[k])
+		if f.Sign() == 0 {
+			return
+		}
+		for c := range row {
+			row[c] = new(big.Rat).Sub(row[c], new(big.Rat).Mul(f, pr[c]))
+		}
+	}
+	for i := range rows {
+		if i != r {
+			eliminate(rows[i])
+		}
+	}
+	eliminate(obj)
+	basis[r] = k
+}

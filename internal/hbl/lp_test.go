@@ -1,0 +1,118 @@
+package hbl
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+func TestSolveMatMul(t *testing.T) {
+	e, err := Solve(MatMul(9600, 2400, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Sigma.Cmp(rat(3, 2)) != 0 {
+		t.Fatalf("σ = %v, want 3/2", e.Sigma)
+	}
+	if e.BoundExponent().Cmp(rat(2, 3)) != 0 {
+		t.Fatalf("exponent = %v, want 2/3", e.BoundExponent())
+	}
+	for j, s := range e.S {
+		if s.Cmp(rat(1, 2)) != 0 {
+			t.Fatalf("s[%d] = %v, want 1/2", j, s)
+		}
+	}
+	for i, y := range e.Dual {
+		if y.Cmp(rat(1, 2)) != 0 {
+			t.Fatalf("y[%d] = %v, want 1/2", i, y)
+		}
+	}
+}
+
+func TestSolveZoo(t *testing.T) {
+	cases := []struct {
+		name  string
+		p     Program
+		sigma *big.Rat
+	}{
+		{"cuboid-2", Cuboid(8, 4), rat(2, 1)},
+		{"cuboid-3", Cuboid(8, 4, 2), rat(3, 2)},
+		{"cuboid-4", Cuboid(32, 16, 16, 8), rat(4, 3)},
+		{"cuboid-6", Cuboid(4, 4, 4, 4, 4, 4), rat(6, 5)},
+		{"contraction", TensorContraction([]int{4, 5}, []int{6}, []int{7, 8}), rat(3, 2)},
+		{"nbody", NBody(1000), rat(2, 1)},
+		{"conv2d", Conv2D(128, 128, 3, 3), rat(2, 1)},
+	}
+	for _, tc := range cases {
+		e, err := Solve(tc.p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if e.Sigma.Cmp(tc.sigma) != 0 {
+			t.Errorf("%s: σ = %v, want %v", tc.name, e.Sigma, tc.sigma)
+		}
+		if err := e.Verify(tc.p); err != nil {
+			t.Errorf("%s: certificate: %v", tc.name, err)
+		}
+	}
+}
+
+func TestSolveCuboidUniform(t *testing.T) {
+	// The cuboid LP has the unique optimum s_j = 1/(d−1); the simplex must
+	// land on it exactly for the bit-exact ProductMin path to engage.
+	for d := 2; d <= 7; d++ {
+		dims := make([]int, d)
+		for i := range dims {
+			dims[i] = 4
+		}
+		e, err := Solve(Cuboid(dims...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rat(1, int64(d-1))
+		for j, s := range e.S {
+			if s.Cmp(want) != 0 {
+				t.Fatalf("d=%d: s[%d] = %v, want %v", d, j, s, want)
+			}
+		}
+	}
+}
+
+func TestSolveRejectsInvalid(t *testing.T) {
+	if _, err := Solve(Program{}); !errors.Is(err, core.ErrBadProgram) {
+		t.Fatalf("Solve(empty) = %v, want ErrBadProgram", err)
+	}
+}
+
+func TestSolveSingleArray(t *testing.T) {
+	// One array covering everything: s = 1, σ = 1, exponent 1.
+	p := Program{
+		Indices: []string{"i", "j"},
+		Arrays:  []Array{{Name: "T", Indices: []string{"i", "j"}}},
+	}
+	e, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Sigma.Cmp(rat(1, 1)) != 0 || e.S[0].Cmp(rat(1, 1)) != 0 {
+		t.Fatalf("σ = %v, s = %v, want 1, [1]", e.Sigma, e.S)
+	}
+}
+
+func TestVerifyCatchesTampering(t *testing.T) {
+	p := MatMul(64, 64, 64)
+	e, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := e
+	bad.S = append([]*big.Rat{}, e.S...)
+	bad.S[0] = rat(1, 4) // breaks coverage of index i
+	if err := bad.Verify(p); err == nil {
+		t.Fatal("Verify accepted a tampered certificate")
+	}
+}

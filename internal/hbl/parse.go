@@ -1,0 +1,123 @@
+package hbl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ParseProgram parses the textual program DSL. Two statement forms are
+// accepted:
+//
+//	A[i,k]*B[k,j] -> C[i,j]          inputs, then the output
+//	C[i,j] += A[i,k]*B[k,j]          the output first, loop-body style
+//
+// optionally followed by an extents clause:
+//
+//	A[i,k]*B[k,j] -> C[i,j] | i=9600 k=600 j=2400
+//
+// Loop indices are collected in order of first appearance; when an extents
+// clause is present it must assign every index. Whitespace is free between
+// tokens. The result is validated; every syntax or semantic failure wraps
+// core.ErrBadProgram. Program.String renders this same syntax, and the two
+// round-trip.
+func ParseProgram(src string) (Program, error) {
+	stmt := src
+	var extents string
+	if i := strings.IndexByte(src, '|'); i >= 0 {
+		stmt, extents = src[:i], src[i+1:]
+		if strings.IndexByte(extents, '|') >= 0 {
+			return Program{}, fmt.Errorf("hbl: more than one extents clause: %w", core.ErrBadProgram)
+		}
+	}
+
+	var inputs, output string
+	switch {
+	case strings.Contains(stmt, "->"):
+		parts := strings.SplitN(stmt, "->", 2)
+		inputs, output = parts[0], parts[1]
+		if strings.Contains(output, "->") || strings.Contains(stmt, "+=") {
+			return Program{}, fmt.Errorf("hbl: statement %q mixes -> and +=: %w", strings.TrimSpace(stmt), core.ErrBadProgram)
+		}
+	case strings.Contains(stmt, "+="):
+		parts := strings.SplitN(stmt, "+=", 2)
+		output, inputs = parts[0], parts[1]
+		if strings.Contains(inputs, "+=") {
+			return Program{}, fmt.Errorf("hbl: statement %q has more than one +=: %w", strings.TrimSpace(stmt), core.ErrBadProgram)
+		}
+	default:
+		return Program{}, fmt.Errorf("hbl: statement %q has neither -> nor +=: %w", strings.TrimSpace(stmt), core.ErrBadProgram)
+	}
+
+	out, err := parseRef(output)
+	if err != nil {
+		return Program{}, err
+	}
+	var p Program
+	seen := make(map[string]bool)
+	addIndices := func(a Array) {
+		for _, name := range a.Indices {
+			if !seen[name] {
+				seen[name] = true
+				p.Indices = append(p.Indices, name)
+			}
+		}
+	}
+	// Index order follows textual appearance: for the loop-body form the
+	// output is written first, so its indices lead.
+	if !strings.Contains(stmt, "->") {
+		addIndices(out)
+	}
+	for _, tok := range strings.Split(inputs, "*") {
+		a, err := parseRef(tok)
+		if err != nil {
+			return Program{}, err
+		}
+		addIndices(a)
+		p.Arrays = append(p.Arrays, a)
+	}
+	addIndices(out)
+	p.Arrays = append(p.Arrays, out)
+	p.Output = out.Name
+
+	if strings.TrimSpace(extents) != "" {
+		ext := make(map[string]int)
+		for _, tok := range strings.Fields(extents) {
+			name, val, ok := strings.Cut(tok, "=")
+			if !ok {
+				return Program{}, fmt.Errorf("hbl: extent %q is not name=count: %w", tok, core.ErrBadProgram)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Program{}, fmt.Errorf("hbl: extent %q is not an integer: %w", tok, core.ErrBadProgram)
+			}
+			if _, dup := ext[name]; dup {
+				return Program{}, fmt.Errorf("hbl: extent for %q given twice: %w", name, core.ErrBadProgram)
+			}
+			ext[name] = n
+		}
+		if p, err = p.WithExtents(ext); err != nil {
+			return Program{}, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Program{}, err
+	}
+	return p, nil
+}
+
+// parseRef parses one array reference "Name[i,j,k]".
+func parseRef(tok string) (Array, error) {
+	tok = strings.TrimSpace(tok)
+	open := strings.IndexByte(tok, '[')
+	if open < 0 || !strings.HasSuffix(tok, "]") {
+		return Array{}, fmt.Errorf("hbl: array reference %q is not Name[indices]: %w", tok, core.ErrBadProgram)
+	}
+	a := Array{Name: strings.TrimSpace(tok[:open])}
+	for _, name := range strings.Split(tok[open+1:len(tok)-1], ",") {
+		a.Indices = append(a.Indices, strings.TrimSpace(name))
+	}
+	return a, nil
+}

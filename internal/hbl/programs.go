@@ -1,0 +1,122 @@
+package hbl
+
+import "fmt"
+
+// The program zoo: constructors for the workloads the subsystem opens up.
+// Each returns a validated-by-construction Program; callers still run
+// Validate (extent caps can only be checked against concrete sizes).
+
+// MatMul returns classical matrix multiplication C[i,j] += A[i,k]·B[k,j]
+// with C m×n, A m×k, B k×n. Its HBL optimum is s = (1/2, 1/2, 1/2),
+// σ = 3/2, reproducing Theorem 3: footprint ≥ (mnk/P)^{2/3} with the
+// 1/2/3-case constants.
+func MatMul(m, n, k int) Program {
+	return Program{
+		Indices: []string{"i", "j", "k"},
+		Extents: []int{m, n, k},
+		Arrays: []Array{
+			{Name: "A", Indices: []string{"i", "k"}},
+			{Name: "B", Indices: []string{"k", "j"}},
+			{Name: "C", Indices: []string{"i", "j"}},
+		},
+		Output: "C",
+	}
+}
+
+// Cuboid returns the d-dimensional cuboid computation of internal/extension
+// (§6.3): iteration space N_0 × … × N_{d−1}, one array per omitted
+// dimension (array A_j is indexed by every index except i_j), the last
+// array the output. The array order matches extension.Problem exactly —
+// MemIndependentBound on this program reproduces extension's LowerBound bit
+// for bit. Its HBL optimum is s_j = 1/(d−1), σ = d/(d−1).
+func Cuboid(dims ...int) Program {
+	d := len(dims)
+	p := Program{
+		Indices: make([]string, d),
+		Extents: make([]int, d),
+		Arrays:  make([]Array, d),
+	}
+	for i, n := range dims {
+		p.Indices[i] = fmt.Sprintf("i%d", i)
+		p.Extents[i] = n
+	}
+	for j := 0; j < d; j++ {
+		a := Array{Name: fmt.Sprintf("A%d", j)}
+		for i := 0; i < d; i++ {
+			if i != j {
+				a.Indices = append(a.Indices, p.Indices[i])
+			}
+		}
+		p.Arrays[j] = a
+	}
+	p.Output = p.Arrays[d-1].Name
+	return p
+}
+
+// TensorContraction returns a binary tensor contraction
+// C[a…,b…] += A[a…,c…]·B[c…,b…]: freeA extents stay with A and the output,
+// freeB with B and the output, contracted extents are shared by A and B.
+// With every group non-empty the HBL optimum is s = (1/2, 1/2, 1/2),
+// σ = 3/2 — matmul's exponent, whatever the tensor orders — because the
+// coverage constraints collapse to the same three pairwise inequalities.
+func TensorContraction(freeA, freeB, contracted []int) Program {
+	var p Program
+	add := func(prefix string, extents []int) []string {
+		names := make([]string, len(extents))
+		for i, n := range extents {
+			names[i] = fmt.Sprintf("%s%d", prefix, i)
+			p.Indices = append(p.Indices, names[i])
+			p.Extents = append(p.Extents, n)
+		}
+		return names
+	}
+	a := add("a", freeA)
+	b := add("b", freeB)
+	c := add("c", contracted)
+	p.Arrays = []Array{
+		{Name: "A", Indices: append(append([]string{}, a...), c...)},
+		{Name: "B", Indices: append(append([]string{}, c...), b...)},
+		{Name: "C", Indices: append(append([]string{}, a...), b...)},
+	}
+	p.Output = "C"
+	return p
+}
+
+// NBody returns the all-pairs n-body force computation
+// F[i] += force(X[i], Y[j]) over an n × n interaction space (X and Y are
+// two references to the same position array; the bound charges references,
+// so they count separately). The HBL optimum is s_X + s_F = 1, s_Y = 1,
+// σ = 2: footprint ≥ (n²/P)^{1/2}, the classic √(n²/P) result.
+func NBody(n int) Program {
+	return Program{
+		Indices: []string{"i", "j"},
+		Extents: []int{n, n},
+		Arrays: []Array{
+			{Name: "X", Indices: []string{"i"}},
+			{Name: "Y", Indices: []string{"j"}},
+			{Name: "F", Indices: []string{"i"}},
+		},
+		Output: "F",
+	}
+}
+
+// Conv2D returns a direct 2-D convolution Out[x,y] += Img[x+u,y+v]·K[u,v]
+// over an h × w output and kh × kw kernel — under the subset approximation
+// that drops the shifts, modeling the image reference as Img[x,y]. The true
+// reference is not a subset projection (x+u mixes indices), but its
+// projection sizes differ from the dropped-shift ones by at most the kernel
+// halo, so the resulting bound σ = 2, footprint ≥ (h·w·kh·kw/P)^{1/2},
+// holds up to that additive halo term. CDKSY §6 handles affine references
+// exactly; the subset DSL deliberately stops at this approximation.
+func Conv2D(h, w, kh, kw int) Program {
+	return Program{
+		Indices: []string{"x", "y", "u", "v"},
+		Extents: []int{h, w, kh, kw},
+		Arrays: []Array{
+			{Name: "Img", Indices: []string{"x", "y"}},
+			{Name: "K", Indices: []string{"u", "v"}},
+			{Name: "Out", Indices: []string{"x", "y"}},
+		},
+		Output: "Out",
+	}
+}

@@ -180,6 +180,37 @@ func TestSatisfiesAccessBoundsSmallShare(t *testing.T) {
 	}
 }
 
+// TestSatisfiesAccessBoundsHugeDims regresses the integer-overflow bug:
+// with n1 = n2 = n3 = 2^32 the old int64 triple product wrapped to zero,
+// so a one-point set "held a 1/p share" and was then rejected against
+// float64 bounds near 2^63. The overflow-free comparison answers true
+// (vacuously — no materialized set reaches a 1/p share of a space that
+// overflows int64).
+func TestSatisfiesAccessBoundsHugeDims(t *testing.T) {
+	v := Brick(0, 1, 0, 1, 0, 1)
+	n := 1 << 32
+	if !SatisfiesAccessBounds(v, n, n, n, 2) {
+		t.Fatal("huge dims must be vacuously accepted, not rejected via overflow")
+	}
+	// Just under the guard: the product 2^17·2^17·2^18 = 2^52 fits, the
+	// one-point set is below the share, still vacuous.
+	if !SatisfiesAccessBounds(v, 1<<17, 1<<17, 1<<18, 4) {
+		t.Fatal("sub-2^53 dims with a tiny set should be vacuously accepted")
+	}
+}
+
+// TestSatisfiesAccessBoundsExactCeil pins the exact rational comparison:
+// a processor holding a 1/p share must meet ⌈n·n/p⌉ on every projection,
+// with no float64 division in the way. The full space trivially does.
+func TestSatisfiesAccessBoundsExactCeil(t *testing.T) {
+	full := FullIterationSpace(5, 2, 3)
+	for p := 1; p <= 7; p++ {
+		if !SatisfiesAccessBounds(full, 5, 2, 3, p) {
+			t.Fatalf("full space rejected at p=%d", p)
+		}
+	}
+}
+
 func TestRandomSubsetDeterministic(t *testing.T) {
 	a := RandomSubset(4, 4, 4, 0.5, 9)
 	b := RandomSubset(4, 4, 4, 0.5, 9)

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"math"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestBoundMatMul: matmul through /v1/bound reproduces /v1/lowerbound's
+// numbers (the generalized engine collapsing onto Theorem 3) with the exact
+// rational exponents alongside.
+func TestBoundMatMul(t *testing.T) {
+	_, ts := newTestServer(t)
+	status, raw := post(t, ts, "/v1/bound", `{"problems":[
+		{"program":"A[i,k]*B[k,j] -> C[i,j] | i=9600 k=600 j=2400","p":512}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	env := decode[Envelope[BoundResponse]](t, raw)
+	if len(env.Results) != 1 || env.Results[0] == nil || len(env.Errors) != 0 {
+		t.Fatalf("envelope = %+v", env)
+	}
+	b := *env.Results[0]
+	if b.SigmaExact != "3/2" || b.ExponentExact != "2/3" {
+		t.Fatalf("exponents %q/%q, want 3/2 and 2/3", b.SigmaExact, b.ExponentExact)
+	}
+	for _, a := range b.Arrays {
+		if a.SExact != "1/2" {
+			t.Fatalf("array %s exponent %q, want 1/2", a.Name, a.SExact)
+		}
+	}
+	d := core.Dims{N1: 9600, N2: 600, N3: 2400}
+	if want := core.LowerBound(d, 512); math.Abs(b.Bound-want) > 1e-9*(1+want) {
+		t.Fatalf("bound %v, want %v", b.Bound, want)
+	}
+	if b.FreeArrays != 3 {
+		t.Fatalf("freeArrays = %d, want 3 (Case 3)", b.FreeArrays)
+	}
+}
+
+// TestBoundEnvelope: partial success with per-index taxonomy codes, the
+// structured program form, and the exponents-only mode.
+func TestBoundEnvelope(t *testing.T) {
+	_, ts := newTestServer(t)
+	status, raw := post(t, ts, "/v1/bound", `{"problems":[
+		{"arrays":[{"name":"X","indices":["i"]},{"name":"Y","indices":["j"]},{"name":"F","indices":["i"]}],
+		 "output":"F","extents":{"i":4096,"j":4096},"p":64},
+		{"program":"A[i]*B[i]"},
+		{"program":"A[i,k]*B[k,j] -> C[i,j]"},
+		{"program":"A[i,k]*B[k,j] -> C[i,j] | i=8 k=8 j=8","p":0}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	env := decode[Envelope[BoundResponse]](t, raw)
+	if len(env.Results) != 4 || env.Results[0] == nil || env.Results[1] != nil ||
+		env.Results[2] == nil || env.Results[3] != nil {
+		t.Fatalf("results = %+v", env.Results)
+	}
+	if len(env.Errors) != 2 ||
+		env.Errors[0].Index != 1 || env.Errors[0].Code != "bad_program" ||
+		env.Errors[1].Index != 3 || env.Errors[1].Code != "bad_processor_count" {
+		t.Fatalf("errors = %+v", env.Errors)
+	}
+	if nb := env.Results[0]; nb.SigmaExact != "2" || nb.Bound <= 0 {
+		t.Fatalf("n-body result = %+v", nb)
+	}
+	// Exponents-only: no extents, so no bound fields.
+	if exp := env.Results[2]; exp.SigmaExact != "3/2" || exp.P != 0 || exp.Bound != 0 || exp.Footprint != 0 {
+		t.Fatalf("exponents-only result = %+v", exp)
+	}
+}
+
+// TestBoundRejects: request-level failures answer non-2xx directly.
+func TestBoundRejects(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		body   string
+		status int
+	}{
+		{`{}`, http.StatusBadRequest},
+		{`{"problems":[]}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	} {
+		status, raw := post(t, ts, "/v1/bound", tc.body)
+		if status != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.body, status, tc.status, raw)
+		}
+	}
+}
+
+// TestBoundSingleInline: the bare single-problem form answers a bare
+// BoundResponse on success and a taxonomy-coded 400 on a bad program.
+func TestBoundSingleInline(t *testing.T) {
+	_, ts := newTestServer(t)
+	status, raw := post(t, ts, "/v1/bound",
+		`{"program":"A[a,c]*B[c,b] -> C[a,b] | a=48 c=48 b=48","p":27}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	b := decode[BoundResponse](t, raw)
+	if b.SigmaExact != "3/2" || b.P != 27 || b.Bound <= 0 {
+		t.Fatalf("inline response = %+v", b)
+	}
+	status, raw = post(t, ts, "/v1/bound", `{"program":"A[i]*B[i]"}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("malformed program: status %d, want 400 (%s)", status, raw)
+	}
+	er := decode[ErrorResponse](t, raw)
+	if er.Kind != "bad_program" {
+		t.Fatalf("kind = %q, want bad_program (%s)", er.Kind, raw)
+	}
+}
+
+// TestBoundMemoized: a repeated program answers from the cache.
+func TestBoundMemoized(t *testing.T) {
+	s, ts := newTestServer(t)
+	body := `{"problems":[{"program":"A[i,k]*B[k,j] -> C[i,j] | i=64 k=64 j=64","p":8}]}`
+	if status, raw := post(t, ts, "/v1/bound", body); status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	_, missesBefore := s.cache.Stats()
+	hitsBefore, _ := s.cache.Stats()
+	if status, _ := post(t, ts, "/v1/bound", body); status != http.StatusOK {
+		t.Fatal("second request failed")
+	}
+	hits, misses := s.cache.Stats()
+	if hits <= hitsBefore || misses != missesBefore {
+		t.Fatalf("second request not served from cache: hits %d→%d misses %d→%d",
+			hitsBefore, hits, missesBefore, misses)
+	}
+}

@@ -1,6 +1,7 @@
 // Package service implements parmmd, the long-running HTTP JSON tuning
-// oracle over the library: Theorem 3 lower bounds, optimal grids, runtime
-// predictions, and asynchronous simulation jobs, behind a versioned v1 API.
+// oracle over the library: Theorem 3 lower bounds, generalized HBL
+// array-program bounds, optimal grids, runtime predictions, and
+// asynchronous simulation jobs, behind a versioned v1 API.
 // Expensive pure computations are memoized in a sharded LRU keyed by the
 // full input tuple; simulations run on a bounded job pool with per-job
 // context cancellation and deadline; /debug/vars exposes the operational
@@ -411,8 +412,8 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 	// Kind is the machine-readable taxonomy tag: bad_dims,
 	// bad_processor_count, too_many_ranks, grid_mismatch, unsupported_alg,
-	// bad_opts, bad_topology, bad_request, not_found, queue_full, or
-	// internal.
+	// bad_opts, bad_topology, bad_program, bad_request, not_found,
+	// queue_full, or internal.
 	Kind string `json:"kind"`
 }
 

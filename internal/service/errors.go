@@ -17,7 +17,8 @@ var ErrOverloaded = errors.New("server overloaded")
 // deterministically:
 //
 //	ErrBadDims, ErrBadProcessorCount, ErrTooManyRanks,
-//	ErrBadOpts, ErrBadTopology, ErrBadPlanRange   → 400 Bad Request
+//	ErrBadOpts, ErrBadTopology, ErrBadPlanRange,
+//	ErrBadProgram                                 → 400 Bad Request
 //	ErrUnsupportedAlg                             → 404 Not Found
 //	ErrGridMismatch                               → 422 Unprocessable Entity
 //	ErrJobQueueFull, ErrOverloaded                → 503 Service Unavailable
@@ -32,7 +33,8 @@ func statusFor(err error) int {
 		errors.Is(err, core.ErrTooManyRanks),
 		errors.Is(err, core.ErrBadOpts),
 		errors.Is(err, core.ErrBadTopology),
-		errors.Is(err, core.ErrBadPlanRange):
+		errors.Is(err, core.ErrBadPlanRange),
+		errors.Is(err, core.ErrBadProgram):
 		return http.StatusBadRequest
 	case errors.Is(err, core.ErrUnsupportedAlg):
 		return http.StatusNotFound
@@ -60,6 +62,8 @@ func kindFor(err error) string {
 		return "bad_topology"
 	case errors.Is(err, core.ErrBadPlanRange):
 		return "bad_plan_range"
+	case errors.Is(err, core.ErrBadProgram):
+		return "bad_program"
 	case errors.Is(err, core.ErrUnsupportedAlg):
 		return "unsupported_alg"
 	case errors.Is(err, core.ErrGridMismatch):

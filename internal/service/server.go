@@ -242,6 +242,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	s.mux.HandleFunc("POST /v1/lowerbound", s.limited(s.computeLimit, s.handleLowerBound))
+	s.mux.HandleFunc("POST /v1/bound", s.limited(s.computeLimit, s.handleBound))
 	s.mux.HandleFunc("POST /v1/grid", s.limited(s.computeLimit, s.handleGrid))
 	s.mux.HandleFunc("POST /v1/predict", s.limited(s.computeLimit, s.handlePredict))
 	s.mux.HandleFunc("POST /v1/plan", s.limited(s.planLimit, s.handlePlan))
@@ -338,7 +339,7 @@ func (s *Server) registerMetrics() {
 	s.latency = make(map[string]*obs.Histogram)
 	for _, pattern := range []string{
 		"GET /healthz", "GET /metrics", "GET /debug/vars",
-		"POST /v1/lowerbound", "POST /v1/grid", "POST /v1/predict",
+		"POST /v1/lowerbound", "POST /v1/bound", "POST /v1/grid", "POST /v1/predict",
 		"POST /v1/plan", "POST /v1/simulate",
 		"GET /v1/jobs", "GET /v1/jobs/{id}", "DELETE /v1/jobs/{id}",
 		"GET /v1/jobs/{id}/artifacts", "GET /v1/jobs/{id}/artifacts/{name}",
